@@ -1,0 +1,201 @@
+package hoplite_test
+
+// One benchmark per paper table/figure (§5, Appendices A, B), each
+// regenerating the corresponding experiment at the quick scale, plus
+// microbenchmarks for the hot primitives. Run the full-fidelity versions
+// with cmd/hoplite-bench. See EXPERIMENTS.md for paper-vs-measured notes.
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"hoplite"
+	"hoplite/internal/bench"
+)
+
+func benchFigure(b *testing.B, fn func(sc bench.Scale) ([]*bench.Table, error)) {
+	b.Helper()
+	sc := bench.QuickScale()
+	for i := 0; i < b.N; i++ {
+		tables, err := fn(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			for _, t := range tables {
+				t.Fprint(os.Stdout)
+			}
+		}
+	}
+}
+
+func BenchmarkDirectoryMicro(b *testing.B) {
+	benchFigure(b, bench.DirectoryMicro)
+}
+
+func BenchmarkFig6PointToPoint(b *testing.B) {
+	benchFigure(b, bench.Figure6)
+}
+
+func BenchmarkFig7Collectives(b *testing.B) {
+	benchFigure(b, func(sc bench.Scale) ([]*bench.Table, error) {
+		return bench.Figure7(sc, []int{4, 8})
+	})
+}
+
+func BenchmarkFig8Asynchrony(b *testing.B) {
+	benchFigure(b, func(sc bench.Scale) ([]*bench.Table, error) {
+		return bench.Figure8(sc, 8, []time.Duration{0, 100 * time.Millisecond, 300 * time.Millisecond})
+	})
+}
+
+func BenchmarkFig9AsyncSGD(b *testing.B) {
+	benchFigure(b, func(sc bench.Scale) ([]*bench.Table, error) {
+		return bench.Figure9(sc, []int{8}, 4)
+	})
+}
+
+func BenchmarkFig10RL(b *testing.B) {
+	benchFigure(b, func(sc bench.Scale) ([]*bench.Table, error) {
+		return bench.Figure10(sc, []int{8}, 4)
+	})
+}
+
+func BenchmarkFig11Serving(b *testing.B) {
+	benchFigure(b, func(sc bench.Scale) ([]*bench.Table, error) {
+		return bench.Figure11(sc, []int{8}, 8)
+	})
+}
+
+func BenchmarkFig12FaultTolerance(b *testing.B) {
+	benchFigure(b, func(sc bench.Scale) ([]*bench.Table, error) {
+		return bench.Figure12(sc, 18)
+	})
+}
+
+func BenchmarkFig13SyncTraining(b *testing.B) {
+	benchFigure(b, func(sc bench.Scale) ([]*bench.Table, error) {
+		return bench.Figure13(sc, []int{8}, 2)
+	})
+}
+
+func BenchmarkFig14SmallObjects(b *testing.B) {
+	benchFigure(b, func(sc bench.Scale) ([]*bench.Table, error) {
+		return bench.Figure14(sc, []int{4, 8})
+	})
+}
+
+func BenchmarkFig15ReduceDegree(b *testing.B) {
+	benchFigure(b, func(sc bench.Scale) ([]*bench.Table, error) {
+		return bench.Figure15(sc, []int64{4 << 10, 4 << 20}, []int{8})
+	})
+}
+
+// --- primitive microbenchmarks (plain loopback TCP, no emulation) ---
+
+func BenchmarkPutGet1MB(b *testing.B) {
+	c, err := hoplite.StartLocalCluster(2, hoplite.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	data := make([]byte, 1<<20)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oid := hoplite.RandomObjectID()
+		if err := c.Node(0).Put(ctx, oid, data); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Node(1).GetImmutable(ctx, oid); err != nil {
+			b.Fatal(err)
+		}
+		c.Node(0).Delete(ctx, oid)
+	}
+}
+
+func BenchmarkBroadcast8Nodes4MB(b *testing.B) {
+	c, err := hoplite.StartLocalCluster(8, hoplite.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	data := make([]byte, 4<<20)
+	b.SetBytes(4 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oid := hoplite.RandomObjectID()
+		if err := c.Node(0).Put(ctx, oid, data); err != nil {
+			b.Fatal(err)
+		}
+		errc := make(chan error, 7)
+		for w := 1; w < 8; w++ {
+			go func(w int) {
+				_, err := c.Node(w).GetImmutable(ctx, oid)
+				errc <- err
+			}(w)
+		}
+		for w := 1; w < 8; w++ {
+			if err := <-errc; err != nil {
+				b.Fatal(err)
+			}
+		}
+		c.Node(0).Delete(ctx, oid)
+	}
+}
+
+func BenchmarkReduce8Nodes4MB(b *testing.B) {
+	c, err := hoplite.StartLocalCluster(8, hoplite.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	data := make([]byte, 4<<20)
+	b.SetBytes(4 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oids := make([]hoplite.ObjectID, 8)
+		for w := 0; w < 8; w++ {
+			oids[w] = hoplite.RandomObjectID()
+			if err := c.Node(w).Put(ctx, oids[w], data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		target := hoplite.RandomObjectID()
+		if _, err := c.Node(0).Reduce(ctx, target, oids, 8, hoplite.SumF32); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Node(0).WaitLocal(ctx, target); err != nil {
+			b.Fatal(err)
+		}
+		c.Node(0).Delete(ctx, target)
+		for _, oid := range oids {
+			c.Node(0).Delete(ctx, oid)
+		}
+	}
+}
+
+func BenchmarkSmallObjectInline(b *testing.B) {
+	c, err := hoplite.StartLocalCluster(2, hoplite.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	data := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oid := hoplite.RandomObjectID()
+		if err := c.Node(0).Put(ctx, oid, data); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Node(1).Get(ctx, oid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

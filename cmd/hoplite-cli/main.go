@@ -1,0 +1,96 @@
+// Command hoplite-cli performs object operations against a running
+// hoplited cluster: put a file, get an object, delete it, or inspect its
+// directory record.
+//
+//	hoplite-cli -node 10.0.0.2:7077 -shards 10.0.0.1:7077 put my-key ./weights.bin
+//	hoplite-cli -node 10.0.0.3:7077 -shards 10.0.0.1:7077 get my-key ./out.bin
+//	hoplite-cli -node 10.0.0.3:7077 -shards 10.0.0.1:7077 stat my-key
+//	hoplite-cli -node 10.0.0.3:7077 -shards 10.0.0.1:7077 delete my-key
+//
+// The CLI starts an ephemeral client node that joins the cluster for the
+// duration of the command.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"hoplite"
+	"hoplite/internal/netem"
+)
+
+func main() {
+	shards := flag.String("shards", "", "comma-separated directory shard addresses (required)")
+	timeout := flag.Duration("timeout", 30*time.Second, "operation timeout")
+	flag.Parse()
+	args := flag.Args()
+	if *shards == "" || len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: hoplite-cli -shards HOST:PORT[,...] {put KEY FILE | get KEY FILE | stat KEY | delete KEY}")
+		os.Exit(2)
+	}
+	var shardList []string
+	for _, s := range strings.Split(*shards, ",") {
+		shardList = append(shardList, strings.TrimSpace(s))
+	}
+
+	node, err := hoplite.NewNode(hoplite.Config{
+		Fabric:          &netem.TCP{},
+		DirectoryShards: shardList,
+	})
+	if err != nil {
+		log.Fatalf("join cluster: %v", err)
+	}
+	defer node.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	cmd, key := args[0], args[1]
+	oid := hoplite.ObjectIDFromString(key)
+	switch cmd {
+	case "put":
+		if len(args) < 3 {
+			log.Fatal("put needs a file argument")
+		}
+		data, err := os.ReadFile(args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := node.Put(ctx, oid, data); err != nil {
+			log.Fatalf("put: %v", err)
+		}
+		fmt.Printf("put %s (%d bytes) as %v\n", key, len(data), oid)
+	case "get":
+		if len(args) < 3 {
+			log.Fatal("get needs a file argument")
+		}
+		data, err := node.Get(ctx, oid)
+		if err != nil {
+			log.Fatalf("get: %v", err)
+		}
+		if err := os.WriteFile(args[2], data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("got %s (%d bytes) -> %s\n", key, len(data), args[2])
+	case "stat":
+		rec, err := node.Directory().Lookup(ctx, oid, false)
+		if err != nil {
+			log.Fatalf("stat: %v", err)
+		}
+		fmt.Printf("object %v: size=%d inline=%v\n", oid, rec.Size, rec.Inline != nil)
+		for _, l := range rec.Locs {
+			fmt.Printf("  %s (%s)\n", l.Node, l.Progress)
+		}
+	case "delete":
+		if err := node.Delete(ctx, oid); err != nil {
+			log.Fatalf("delete: %v", err)
+		}
+		fmt.Printf("deleted %s\n", key)
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,68 @@
+// Command hoplited runs one standalone Hoplite object-store node over
+// plain TCP — the production deployment mode. Every node of a cluster
+// runs hoplited; the first -shards entries name the nodes hosting
+// directory shards (which must be started with -host-shard).
+//
+//	# head node (hosts the only directory shard)
+//	hoplited -listen 10.0.0.1:7077 -host-shard
+//
+//	# worker nodes
+//	hoplited -listen 10.0.0.2:7077 -shards 10.0.0.1:7077
+//	hoplited -listen 10.0.0.3:7077 -shards 10.0.0.1:7077
+//
+// Use hoplite-cli against any node's address.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"hoplite"
+	"hoplite/internal/netem"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "address to listen on (control + data plane)")
+	shards := flag.String("shards", "", "comma-separated directory shard addresses (defaults to this node when -host-shard)")
+	hostShard := flag.Bool("host-shard", false, "host a directory shard on this node")
+	capacity := flag.Int64("capacity", 0, "store capacity in bytes (0 = unlimited)")
+	small := flag.Int64("small-object", 0, "small-object inline threshold in bytes (default 64 KiB)")
+	flag.Parse()
+
+	var shardList []string
+	if *shards != "" {
+		for _, s := range strings.Split(*shards, ",") {
+			shardList = append(shardList, strings.TrimSpace(s))
+		}
+	}
+	fab := &netem.TCP{ListenAddr: *listen}
+	ln, err := fab.Listen("")
+	if err != nil {
+		log.Fatalf("listen %s: %v", *listen, err)
+	}
+	node, err := hoplite.NewNode(hoplite.Config{
+		Fabric:          fab,
+		Listener:        ln,
+		HostShard:       *hostShard,
+		DirectoryShards: shardList,
+		StoreCapacity:   *capacity,
+		SmallObject:     *small,
+	})
+	if err != nil {
+		log.Fatalf("start node: %v", err)
+	}
+	fmt.Printf("hoplited: node %s up (shard host: %v)\n", node.Addr(), *hostShard)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("hoplited: shutting down")
+	node.Close()
+	var _ net.Listener = ln
+}

@@ -1,0 +1,158 @@
+// Paramserver runs the paper's asynchronous SGD workload (§5.2) on an
+// emulated cluster twice — once using Hoplite's reduce/broadcast, once
+// using Ray-style individual transfers — and prints the throughput of
+// each, reproducing the shape of Figure 9.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"hoplite"
+	"hoplite/internal/netem"
+	"hoplite/internal/types"
+)
+
+const (
+	nodes     = 8
+	modelSize = 8 << 20 // a scaled-down AlexNet
+	batch     = (nodes - 1) / 2
+	rounds    = 10
+	computeT  = 20 * time.Millisecond
+)
+
+func main() {
+	for _, useHoplite := range []bool{true, false} {
+		tput, err := run(useHoplite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := "Hoplite (reduce+broadcast)"
+		if !useHoplite {
+			name = "Ray-style (individual transfers)"
+		}
+		fmt.Printf("%-35s %.1f updates/s\n", name, tput)
+	}
+}
+
+func run(useHoplite bool) (float64, error) {
+	link := netem.LinkConfig{Latency: 200 * time.Microsecond, BytesPerSec: 64 << 20}
+	cluster, err := hoplite.StartLocalCluster(nodes, hoplite.Options{Emulate: &link})
+	if err != nil {
+		return 0, err
+	}
+	defer cluster.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	model := types.EncodeF32(make([]float32, modelSize/4))
+	ps := cluster.Node(0)
+
+	type result struct {
+		worker int
+		grad   hoplite.ObjectID
+		err    error
+	}
+	jobs := make([]chan hoplite.ObjectID, nodes)
+	results := make(chan result, nodes)
+	done := make(chan struct{})
+	defer close(done)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for w := 1; w < nodes; w++ {
+		jobs[w] = make(chan hoplite.ObjectID, 2)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			node := cluster.Node(w)
+			for {
+				select {
+				case <-done:
+					return
+				case m := <-jobs[w]:
+					if _, err := node.GetImmutable(ctx, m); err != nil {
+						results <- result{w, hoplite.ObjectID{}, err}
+						return
+					}
+					time.Sleep(computeT) // forward+backward pass
+					g := hoplite.RandomObjectID()
+					if err := node.Put(ctx, g, model); err != nil {
+						results <- result{w, g, err}
+						return
+					}
+					results <- result{w, g, nil}
+				}
+			}
+		}(w)
+	}
+
+	m0 := hoplite.RandomObjectID()
+	if err := ps.Put(ctx, m0, model); err != nil {
+		return 0, err
+	}
+	dispatch := func(w int) error {
+		if useHoplite {
+			jobs[w] <- m0
+			return nil
+		}
+		priv := hoplite.RandomObjectID() // Ray: a private copy per worker
+		if err := ps.Put(ctx, priv, model); err != nil {
+			return err
+		}
+		jobs[w] <- priv
+		return nil
+	}
+	for w := 1; w < nodes; w++ {
+		if err := dispatch(w); err != nil {
+			return 0, err
+		}
+	}
+
+	applied := 0
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		var grads []hoplite.ObjectID
+		var workers []int
+		for len(grads) < batch {
+			res := <-results
+			if res.err != nil {
+				return 0, res.err
+			}
+			grads = append(grads, res.grad)
+			workers = append(workers, res.worker)
+		}
+		if useHoplite {
+			sum := hoplite.RandomObjectID()
+			if _, err := ps.Reduce(ctx, sum, grads, len(grads), hoplite.SumF32); err != nil {
+				return 0, err
+			}
+			if err := ps.WaitLocal(ctx, sum); err != nil {
+				return 0, err
+			}
+			ps.Delete(ctx, sum)
+		} else {
+			for _, g := range grads { // Ray: apply one at a time
+				if _, err := ps.Get(ctx, g); err != nil {
+					return 0, err
+				}
+			}
+		}
+		for _, g := range grads {
+			ps.Delete(ctx, g)
+		}
+		applied += len(grads)
+		m0 = hoplite.RandomObjectID()
+		if err := ps.Put(ctx, m0, model); err != nil {
+			return 0, err
+		}
+		for _, w := range workers {
+			if err := dispatch(w); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return float64(applied) / time.Since(t0).Seconds(), nil
+}

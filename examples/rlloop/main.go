@@ -1,0 +1,98 @@
+// Rlloop implements the paper's motivating RL training loop (Figure 1b)
+// on the task framework: rollout tasks produce gradients asynchronously;
+// each step reduces a batch of whichever gradients finished first,
+// updates the policy, and broadcasts it to the finished agents.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"hoplite"
+	"hoplite/internal/task"
+	"hoplite/internal/types"
+)
+
+const (
+	agents    = 7
+	policyLen = 1 << 20 // f32 elements (4 MB policy)
+	batchSize = 3
+	steps     = 5
+)
+
+func main() {
+	cluster, err := hoplite.StartLocalCluster(agents+1, hoplite.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	tc := task.NewCluster(cluster.Nodes(), 1)
+	defer tc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// rollout(policy) -> gradient: fetch the policy, "simulate", emit a
+	// gradient of the same shape.
+	tc.Register("rollout", func(inv *task.Invocation) error {
+		if _, err := inv.Node().GetImmutable(inv.Ctx, inv.ArgID(0)); err != nil {
+			return err
+		}
+		time.Sleep(10 * time.Millisecond) // environment simulation
+		grad := make([]float32, policyLen)
+		for i := range grad {
+			grad[i] = 0.01
+		}
+		return inv.SetReturn(0, types.EncodeF32(grad))
+	})
+
+	driver := cluster.Node(0)
+	policy := hoplite.ObjectIDFromString("policy-0")
+	if err := driver.Put(ctx, policy, types.EncodeF32(make([]float32, policyLen))); err != nil {
+		log.Fatal(err)
+	}
+
+	// Start one rollout per agent (Figure 1: grad_ids = [rollout.remote(policy) ...]).
+	var gradIDs []hoplite.ObjectID
+	for a := 0; a < agents; a++ {
+		gradIDs = append(gradIDs, tc.Submit("rollout", []hoplite.ObjectID{policy}, 1, a+1)[0])
+	}
+
+	for step := 0; step < steps; step++ {
+		t0 := time.Now()
+		// Reduce a batch of gradients — whichever are ready first
+		// (ray.reduce(grad_ids, num_return=batch_size, op=ray.ADD)).
+		sum := hoplite.ObjectIDFromString(fmt.Sprintf("grad-sum-%d", step))
+		used, err := driver.Reduce(ctx, sum, gradIDs, batchSize, hoplite.SumF32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := driver.GetImmutable(ctx, sum); err != nil {
+			log.Fatal(err)
+		}
+		// "policy += reduced / batch": update and publish the new policy.
+		policy = hoplite.ObjectIDFromString(fmt.Sprintf("policy-%d", step+1))
+		if err := driver.Put(ctx, policy, types.EncodeF32(make([]float32, policyLen))); err != nil {
+			log.Fatal(err)
+		}
+		// Restart rollouts for the agents whose gradients were consumed;
+		// the new policy broadcast happens implicitly as they fetch it.
+		usedSet := map[hoplite.ObjectID]bool{}
+		for _, u := range used {
+			usedSet[u] = true
+		}
+		var remaining []hoplite.ObjectID
+		for _, g := range gradIDs {
+			if !usedSet[g] {
+				remaining = append(remaining, g)
+			}
+		}
+		for range used {
+			remaining = append(remaining, tc.Submit("rollout", []hoplite.ObjectID{policy}, 1, task.AnyNode)[0])
+		}
+		gradIDs = remaining
+		fmt.Printf("step %d: reduced %d gradients in %v, %d rollouts in flight\n",
+			step, len(used), time.Since(t0), len(gradIDs))
+	}
+}

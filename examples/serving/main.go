@@ -1,0 +1,90 @@
+// Serving runs the paper's ensemble model-serving workload (§5.4, §5.5):
+// a driver broadcasts each query's image batch to a set of model nodes
+// and tallies their votes — then kills one model node mid-run and
+// restarts it, showing that queries keep flowing through the failure and
+// the rejoin (Figure 12).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"hoplite"
+	"hoplite/internal/netem"
+)
+
+const (
+	models  = 7 // nodes 1..7 serve one model each; node 0 drives
+	queries = 24
+	failAt  = 8
+	backAt  = 16
+)
+
+func main() {
+	link := netem.LinkConfig{Latency: 200 * time.Microsecond, BytesPerSec: 64 << 20}
+	cluster, err := hoplite.StartLocalCluster(models+1, hoplite.Options{
+		Emulate:    &link,
+		ShardNodes: 1, // directory lives on the driver; model nodes may die
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	driver := cluster.Node(0)
+	batch := make([]byte, 4<<20) // 64-image query batch (scaled)
+
+	for q := 0; q < queries; q++ {
+		switch q {
+		case failAt:
+			fmt.Println("--- killing model node 3 ---")
+			cluster.KillNode(3)
+		case backAt:
+			fmt.Println("--- restarting model node 3 (rejoin) ---")
+			if err := cluster.RestartNode(3); err != nil {
+				log.Fatal(err)
+			}
+		}
+		t0 := time.Now()
+		query := hoplite.ObjectIDFromString(fmt.Sprintf("query-%d", q))
+		if err := driver.Put(ctx, query, batch); err != nil {
+			log.Fatal(err)
+		}
+		votes := make([]int, 10)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		answered := 0
+		for w := 1; w <= models; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				node := cluster.Node(w)
+				wctx, wcancel := context.WithTimeout(ctx, 3*time.Second)
+				defer wcancel()
+				if _, err := node.GetImmutable(wctx, query); err != nil {
+					return // this model is down; the ensemble continues
+				}
+				time.Sleep(5 * time.Millisecond) // inference
+				mu.Lock()
+				votes[w%10]++
+				answered++
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+		driver.Delete(ctx, query)
+		best := 0
+		for cls, v := range votes {
+			if v > votes[best] {
+				best = cls
+			}
+		}
+		fmt.Printf("query %2d: class=%d from %d/%d models in %v\n",
+			q, best, answered, models, time.Since(t0))
+	}
+}

@@ -1,0 +1,272 @@
+// Package hoplite is an efficient and fault-tolerant collective
+// communication layer for task-based distributed systems, reproducing the
+// system described in "Hoplite: Efficient and Fault-Tolerant Collective
+// Communication for Task-Based Distributed Systems" (SIGCOMM 2021).
+//
+// Hoplite is a distributed object store with collective-communication
+// smarts: tasks Put immutable objects and Get them by ObjectID; broadcast
+// emerges from receivers relaying to each other through a dynamic,
+// directory-coordinated tree; Reduce folds a dynamic set of objects
+// through a pipelined d-ary tree whose shape adapts to object size,
+// latency and participant count — and both collectives keep making
+// progress when participants fail.
+//
+// Quick start:
+//
+//	cluster, _ := hoplite.StartLocalCluster(4, hoplite.Options{})
+//	defer cluster.Close()
+//
+//	a := cluster.Node(0)
+//	oid := hoplite.ObjectIDFromString("weights-0")
+//	_ = a.Put(ctx, oid, payload)
+//	data, _ := cluster.Node(3).Get(ctx, oid)
+package hoplite
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"hoplite/internal/core"
+	"hoplite/internal/netem"
+	"hoplite/internal/types"
+)
+
+// Re-exported identifiers so applications only import this package.
+type (
+	// ObjectID names an immutable object; it doubles as a future.
+	ObjectID = types.ObjectID
+	// NodeID identifies a node (its listen address).
+	NodeID = types.NodeID
+	// ReduceOp is an element-wise commutative, associative operation.
+	ReduceOp = types.ReduceOp
+	// DType is the element type of a reducible object.
+	DType = types.DType
+	// OpKind is the operation kind of a ReduceOp.
+	OpKind = types.OpKind
+	// Node is a Hoplite object-store node; see the methods on core.Node:
+	// Put, Get, GetImmutable, Reduce, Delete.
+	Node = core.Node
+	// Config configures a standalone Node.
+	Config = core.Config
+)
+
+// Re-exported enums and constructors.
+const (
+	F32 = types.F32
+	F64 = types.F64
+	I32 = types.I32
+	I64 = types.I64
+
+	Sum = types.Sum
+	Min = types.Min
+	Max = types.Max
+)
+
+// Errors re-exported for errors.Is checks.
+var (
+	ErrNotFound = types.ErrNotFound
+	ErrDeleted  = types.ErrDeleted
+	ErrClosed   = types.ErrClosed
+)
+
+// ObjectIDFromString derives a deterministic ObjectID from a unique string.
+func ObjectIDFromString(s string) ObjectID { return types.ObjectIDFromString(s) }
+
+// RandomObjectID returns a random ObjectID.
+func RandomObjectID() ObjectID { return types.RandomObjectID() }
+
+// SumF32 is the reduce op used throughout the paper's evaluation: addition
+// over arrays of 32-bit floats.
+var SumF32 = ReduceOp{Kind: types.Sum, DType: types.F32}
+
+// NewNode starts a standalone node (production mode). See core.Config.
+func NewNode(cfg Config) (*Node, error) { return core.NewNode(cfg) }
+
+// Options configures a local cluster.
+type Options struct {
+	// Emulate, if non-nil, shapes every node's links (one-way latency and
+	// full-duplex per-node bandwidth) to stand in for the paper's
+	// testbed. Nil runs plain loopback TCP.
+	Emulate *netem.LinkConfig
+	// SmallObject overrides the inline fast-path threshold (bytes).
+	SmallObject int64
+	// StoreCapacity bounds each node's store; 0 = unlimited.
+	StoreCapacity int64
+	// ReduceDegree forces the reduce tree degree (0 = automatic).
+	ReduceDegree int
+	// ShardNodes limits directory shards to the first k nodes (0 = every
+	// node hosts one). Keeping shards on "head" nodes lets worker nodes
+	// die and rejoin without taking directory state with them — the
+	// paper leaves directory fault tolerance to the framework (§6).
+	ShardNodes int
+	// Latency/Bandwidth are the cost-model estimates for degree
+	// selection; when Emulate is set they default to its values.
+	Latency   time.Duration
+	Bandwidth float64
+	// PipelineBlock overrides the pipelining block size.
+	PipelineBlock int
+}
+
+// Cluster is a set of in-process Hoplite nodes sharing a fabric and a
+// sharded directory (one shard per node).
+type Cluster struct {
+	fab    netem.Fabric
+	em     *netem.Emulated
+	opts   Options
+	shards []string
+	nodes  []*core.Node
+}
+
+// StartLocalCluster boots n nodes on the loopback fabric. Each node hosts
+// one directory shard.
+func StartLocalCluster(n int, opts Options) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("hoplite: cluster size %d", n)
+	}
+	var fab netem.Fabric
+	var em *netem.Emulated
+	if opts.Emulate != nil {
+		em = netem.NewEmulated(*opts.Emulate)
+		fab = em
+		if opts.Latency == 0 {
+			opts.Latency = opts.Emulate.Latency
+		}
+		if opts.Bandwidth == 0 {
+			opts.Bandwidth = opts.Emulate.BytesPerSec
+		}
+	} else {
+		fab = &netem.TCP{}
+	}
+	c := &Cluster{fab: fab, em: em, opts: opts}
+
+	// Two-phase start: every node must be configured with the full shard
+	// address list, but addresses are assigned at listen time — so
+	// reserve all listeners first, then start the nodes.
+	lns := make([]net.Listener, 0, n)
+	addrs := make([]string, 0, n)
+	shardNodes := opts.ShardNodes
+	if shardNodes <= 0 || shardNodes > n {
+		shardNodes = n
+	}
+	for i := 0; i < n; i++ {
+		ln, err := fab.Listen(fmt.Sprintf("node-%d", i))
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			c.Close()
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	c.shards = addrs[:shardNodes]
+	for i := 0; i < n; i++ {
+		node, err := core.NewNode(core.Config{
+			Fabric:          fab,
+			Name:            fmt.Sprintf("node-%d", i),
+			Listener:        lns[i],
+			HostShard:       i < shardNodes,
+			DirectoryShards: c.shards,
+			SmallObject:     opts.SmallObject,
+			PipelineBlock:   opts.PipelineBlock,
+			StoreCapacity:   opts.StoreCapacity,
+			Latency:         opts.Latency,
+			Bandwidth:       opts.Bandwidth,
+			ReduceDegree:    opts.ReduceDegree,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+// Node returns the i-th node.
+func (c *Cluster) Node(i int) *core.Node { return c.nodes[i] }
+
+// Nodes returns all nodes.
+func (c *Cluster) Nodes() []*core.Node { return c.nodes }
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Emulated returns the emulated fabric (nil when running plain TCP); use
+// it for fault injection: cluster.Emulated().Kill("node-3").
+func (c *Cluster) Emulated() *netem.Emulated { return c.em }
+
+// KillNode abruptly disconnects node i (emulated fabric only): all of its
+// sockets break, which is how peers detect the failure.
+func (c *Cluster) KillNode(i int) error {
+	if c.em == nil {
+		return fmt.Errorf("hoplite: KillNode requires an emulated fabric")
+	}
+	c.em.Kill(fmt.Sprintf("node-%d", i))
+	return nil
+}
+
+// RestartNode replaces a previously killed worker node with a fresh one
+// under the same fabric name (a restarted task process rejoining, §5.5).
+// It must not be used on nodes hosting directory shards.
+func (c *Cluster) RestartNode(i int) error {
+	if c.em == nil {
+		return fmt.Errorf("hoplite: RestartNode requires an emulated fabric")
+	}
+	old := c.nodes[i].Addr()
+	for _, s := range c.shards {
+		if s == old {
+			return fmt.Errorf("hoplite: node %d hosts a directory shard and cannot be restarted", i)
+		}
+	}
+	c.nodes[i].Close()
+	name := fmt.Sprintf("node-%d", i)
+	c.em.Revive(name)
+	node, err := core.NewNode(core.Config{
+		Fabric:          c.fab,
+		Name:            name,
+		DirectoryShards: c.shards,
+		SmallObject:     c.opts.SmallObject,
+		PipelineBlock:   c.opts.PipelineBlock,
+		StoreCapacity:   c.opts.StoreCapacity,
+		Latency:         c.opts.Latency,
+		Bandwidth:       c.opts.Bandwidth,
+		ReduceDegree:    c.opts.ReduceDegree,
+	})
+	if err != nil {
+		return err
+	}
+	c.nodes[i] = node
+	return nil
+}
+
+// AllReduce folds num of the source objects into target with op and
+// distributes the result to every node: the paper's allreduce is a reduce
+// concatenated with a broadcast (§3.4.3). It returns the sources used.
+func (c *Cluster) AllReduce(ctx context.Context, coordinator int, target ObjectID, sources []ObjectID, num int, op ReduceOp) ([]ObjectID, error) {
+	used, err := c.nodes[coordinator].Reduce(ctx, target, sources, num, op)
+	if err != nil {
+		return nil, err
+	}
+	errs := make(chan error, len(c.nodes))
+	for _, n := range c.nodes {
+		go func(n *core.Node) { errs <- n.WaitLocal(ctx, target) }(n)
+	}
+	for range c.nodes {
+		if e := <-errs; e != nil && err == nil {
+			err = e
+		}
+	}
+	return used, err
+}
+
+// Close shuts down every node and the fabric.
+func (c *Cluster) Close() error {
+	for _, n := range c.nodes {
+		n.Close()
+	}
+	return c.fab.Close()
+}

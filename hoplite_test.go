@@ -1,0 +1,216 @@
+package hoplite
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hoplite/internal/types"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func startCluster(t *testing.T, n int, opts Options) *Cluster {
+	t.Helper()
+	c, err := StartLocalCluster(n, opts)
+	if err != nil {
+		t.Fatalf("StartLocalCluster(%d): %v", n, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func payload(size int, seed byte) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(i)*7 + seed
+	}
+	return b
+}
+
+func TestPutGetLarge(t *testing.T) {
+	ctx := testCtx(t)
+	c := startCluster(t, 2, Options{})
+	data := payload(1<<20, 3)
+	oid := ObjectIDFromString("large-1")
+	if err := c.Node(0).Put(ctx, oid, data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := c.Node(1).Get(ctx, oid)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("payload mismatch: got %d bytes", len(got))
+	}
+}
+
+func TestPutGetSmallInline(t *testing.T) {
+	ctx := testCtx(t)
+	c := startCluster(t, 2, Options{})
+	data := payload(1024, 9) // below 64 KB: directory fast path
+	oid := ObjectIDFromString("small-1")
+	if err := c.Node(0).Put(ctx, oid, data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := c.Node(1).Get(ctx, oid)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestGetBeforePut(t *testing.T) {
+	ctx := testCtx(t)
+	c := startCluster(t, 2, Options{})
+	oid := ObjectIDFromString("future-1")
+	data := payload(256<<10, 5)
+	done := make(chan error, 1)
+	go func() {
+		got, err := c.Node(1).Get(ctx, oid)
+		if err == nil && !bytes.Equal(got, data) {
+			err = errors.New("payload mismatch")
+		}
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // receiver blocks first
+	if err := c.Node(0).Put(ctx, oid, data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Get-before-Put: %v", err)
+	}
+}
+
+func TestBroadcastAllNodes(t *testing.T) {
+	ctx := testCtx(t)
+	c := startCluster(t, 8, Options{})
+	data := payload(2<<20, 1)
+	oid := ObjectIDFromString("bcast-1")
+	if err := c.Node(0).Put(ctx, oid, data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, c.Size())
+	for i := 1; i < c.Size(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := c.Node(i).Get(ctx, oid)
+			if err != nil {
+				errs <- fmt.Errorf("node %d: %w", i, err)
+				return
+			}
+			if !bytes.Equal(got, data) {
+				errs <- fmt.Errorf("node %d: payload mismatch", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	ctx := testCtx(t)
+	c := startCluster(t, 4, Options{})
+	const elems = 64 << 10 // 256 KB of f32
+	sources := make([]ObjectID, c.Size())
+	want := make([]float32, elems)
+	for i := range sources {
+		xs := make([]float32, elems)
+		for j := range xs {
+			xs[j] = float32(i + j%13)
+			want[j] += xs[j]
+		}
+		sources[i] = ObjectIDFromString(fmt.Sprintf("red-src-%d", i))
+		if err := c.Node(i).Put(ctx, sources[i], types.EncodeF32(xs)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	target := ObjectIDFromString("red-out")
+	used, err := c.Node(0).Reduce(ctx, target, sources, len(sources), SumF32)
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	if len(used) != len(sources) {
+		t.Fatalf("used %d sources, want %d", len(used), len(sources))
+	}
+	raw, err := c.Node(0).Get(ctx, target)
+	if err != nil {
+		t.Fatalf("Get result: %v", err)
+	}
+	got := types.DecodeF32(raw)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("elem %d: got %v want %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	ctx := testCtx(t)
+	c := startCluster(t, 4, Options{})
+	const elems = 32 << 10
+	sources := make([]ObjectID, c.Size())
+	var want float64
+	for i := range sources {
+		xs := make([]float32, elems)
+		for j := range xs {
+			xs[j] = float32(i)
+		}
+		want += float64(i)
+		sources[i] = ObjectIDFromString(fmt.Sprintf("ar-src-%d", i))
+		if err := c.Node(i).Put(ctx, sources[i], types.EncodeF32(xs)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	target := ObjectIDFromString("ar-out")
+	if _, err := c.AllReduce(ctx, 0, target, sources, len(sources), SumF32); err != nil {
+		t.Fatalf("AllReduce: %v", err)
+	}
+	for i := 0; i < c.Size(); i++ {
+		raw, err := c.Node(i).GetImmutable(ctx, target)
+		if err != nil {
+			t.Fatalf("node %d GetImmutable: %v", i, err)
+		}
+		got := types.DecodeF32(raw)
+		if float64(got[0]) != want || float64(got[elems-1]) != want {
+			t.Fatalf("node %d: got %v want %v", i, got[0], want)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ctx := testCtx(t)
+	c := startCluster(t, 3, Options{})
+	oid := ObjectIDFromString("del-1")
+	data := payload(1<<20, 2)
+	if err := c.Node(0).Put(ctx, oid, data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := c.Node(2).Get(ctx, oid); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := c.Node(1).Delete(ctx, oid); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	sctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+	defer cancel()
+	if _, err := c.Node(1).Get(sctx, oid); err == nil {
+		t.Fatal("Get after Delete succeeded")
+	}
+}

@@ -1,0 +1,290 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hoplite/internal/netem"
+	"hoplite/internal/types"
+)
+
+var sumF32 = types.ReduceOp{Kind: types.Sum, DType: types.F32}
+
+func newTestMesh(t *testing.T, n int) *Mesh {
+	t.Helper()
+	m, err := NewMesh(&netem.TCP{}, n, t.Name())
+	if err != nil {
+		t.Fatalf("NewMesh(%d): %v", n, err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// runAll invokes fn on every rank concurrently and fails on any error.
+func runAll(t *testing.T, m *Mesh, fn func(r *Rank) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, m.Size())
+	for i := 0; i < m.Size(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := fn(m.Rank(i)); err != nil {
+				errs <- fmt.Errorf("rank %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func rankData(rank, elems int) []byte {
+	xs := make([]float32, elems)
+	for j := range xs {
+		xs[j] = float32(rank + j%7)
+	}
+	return types.EncodeF32(xs)
+}
+
+func expectedSum(n, elems int) []float32 {
+	want := make([]float32, elems)
+	for r := 0; r < n; r++ {
+		for j := range want {
+			want[j] += float32(r + j%7)
+		}
+	}
+	return want
+}
+
+func checkSum(t *testing.T, rank int, got []byte, want []float32) {
+	t.Helper()
+	xs := types.DecodeF32(got)
+	for j := range want {
+		if xs[j] != want[j] {
+			t.Fatalf("rank %d elem %d: got %v want %v", rank, j, xs[j], want[j])
+		}
+	}
+}
+
+func TestBcastBinomial(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			m := newTestMesh(t, n)
+			src := rankData(42, 1024)
+			runAll(t, m, func(r *Rank) error {
+				data := make([]byte, len(src))
+				if r.ID() == 1%n {
+					copy(data, src)
+				}
+				if err := r.BcastBinomial(1%n, data); err != nil {
+					return err
+				}
+				if string(data) != string(src) {
+					return fmt.Errorf("mismatch")
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestBcastChain(t *testing.T) {
+	for _, n := range []int{2, 4, 7} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			m := newTestMesh(t, n)
+			src := rankData(7, 300000)
+			runAll(t, m, func(r *Rank) error {
+				data := make([]byte, len(src))
+				if r.ID() == 0 {
+					copy(data, src)
+				}
+				if err := r.BcastChain(0, data); err != nil {
+					return err
+				}
+				if string(data) != string(src) {
+					return fmt.Errorf("mismatch")
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestReduceBinomial(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 6, 8} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			m := newTestMesh(t, n)
+			const elems = 4096
+			want := expectedSum(n, elems)
+			runAll(t, m, func(r *Rank) error {
+				data := rankData(r.ID(), elems)
+				if err := r.ReduceBinomial(0, sumF32, data); err != nil {
+					return err
+				}
+				if r.ID() == 0 {
+					checkSum(t, 0, data, want)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestReduceChain(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			m := newTestMesh(t, n)
+			const elems = 100000
+			want := expectedSum(n, elems)
+			runAll(t, m, func(r *Rank) error {
+				data := rankData(r.ID(), elems)
+				if err := r.ReduceChain(2%n, sumF32, data); err != nil {
+					return err
+				}
+				if r.ID() == 2%n {
+					checkSum(t, r.ID(), data, want)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestGather(t *testing.T) {
+	m := newTestMesh(t, 5)
+	const elems = 2048
+	runAll(t, m, func(r *Rank) error {
+		data := rankData(r.ID(), elems)
+		var parts [][]byte
+		if r.ID() == 0 {
+			parts = make([][]byte, m.Size())
+			for i := range parts {
+				parts[i] = make([]byte, len(data))
+			}
+		}
+		if err := r.Gather(0, data, parts); err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			for i := 1; i < m.Size(); i++ {
+				if string(parts[i]) != string(rankData(i, elems)) {
+					return fmt.Errorf("part %d mismatch", i)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllReduceRing(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		for _, chunked := range []bool{false, true} {
+			t.Run(fmt.Sprintf("n=%d chunked=%v", n, chunked), func(t *testing.T) {
+				m := newTestMesh(t, n)
+				const elems = 10000
+				want := expectedSum(n, elems)
+				runAll(t, m, func(r *Rank) error {
+					data := rankData(r.ID(), elems)
+					if err := r.AllReduceRing(sumF32, data, chunked); err != nil {
+						return err
+					}
+					checkSum(t, r.ID(), data, want)
+					return nil
+				})
+			})
+		}
+	}
+}
+
+func TestAllReduceHD(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 6, 7, 8, 12, 16} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			m := newTestMesh(t, n)
+			const elems = 8192
+			want := expectedSum(n, elems)
+			runAll(t, m, func(r *Rank) error {
+				data := rankData(r.ID(), elems)
+				if err := r.AllReduceHD(sumF32, data); err != nil {
+					return err
+				}
+				checkSum(t, r.ID(), data, want)
+				return nil
+			})
+		})
+	}
+}
+
+func TestGlooBcast(t *testing.T) {
+	m := newTestMesh(t, 6)
+	src := rankData(3, 5000)
+	runAll(t, m, func(r *Rank) error {
+		data := make([]byte, len(src))
+		if r.ID() == 0 {
+			copy(data, src)
+		}
+		if err := r.GlooBcast(0, data); err != nil {
+			return err
+		}
+		if string(data) != string(src) {
+			return fmt.Errorf("mismatch")
+		}
+		return nil
+	})
+}
+
+func TestNaiveCollectives(t *testing.T) {
+	m := newTestMesh(t, 4)
+	const elems = 4096
+	want := expectedSum(4, elems)
+	cfg := NaiveConfig{} // zero overheads for correctness testing
+	t.Run("bcast", func(t *testing.T) {
+		src := rankData(9, elems)
+		runAll(t, m, func(r *Rank) error {
+			x := NewNaive(r, cfg)
+			data := make([]byte, len(src))
+			if r.ID() == 0 {
+				copy(data, src)
+			}
+			if err := x.Bcast(0, data); err != nil {
+				return err
+			}
+			if string(data) != string(src) {
+				return fmt.Errorf("mismatch")
+			}
+			return nil
+		})
+	})
+	t.Run("allreduce", func(t *testing.T) {
+		runAll(t, m, func(r *Rank) error {
+			x := NewNaive(r, cfg)
+			data := rankData(r.ID(), elems)
+			if err := x.AllReduce(0, sumF32, data); err != nil {
+				return err
+			}
+			checkSum(t, r.ID(), data, want)
+			return nil
+		})
+	})
+}
+
+func TestAllReduceTreeBcast(t *testing.T) {
+	for _, n := range []int{2, 5, 8} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			m := newTestMesh(t, n)
+			const elems = 3000
+			want := expectedSum(n, elems)
+			runAll(t, m, func(r *Rank) error {
+				data := rankData(r.ID(), elems)
+				if err := r.AllReduceTreeBcast(sumF32, data); err != nil {
+					return err
+				}
+				checkSum(t, r.ID(), data, want)
+				return nil
+			})
+		})
+	}
+}

@@ -1,0 +1,195 @@
+// Package baseline implements the comparator systems of the paper's
+// evaluation (§5.1) on the same network fabric Hoplite runs on, so that
+// latency comparisons are apples-to-apples:
+//
+//   - MPI: static collectives over a pre-established rank mesh — binomial
+//     tree and pipelined chain broadcast/reduce, ring and
+//     recursive-halving-doubling allreduce (OpenMPI-style algorithm
+//     selection by message size).
+//   - Gloo: unoptimized broadcast, ring / ring-chunked / halving-doubling
+//     allreduce.
+//   - Naive (Ray-like): an object store without collective optimization —
+//     every receiver fetches the complete object from its creator, with
+//     non-overlapped worker↔store copies.
+//   - Central (Dask-like): like Naive, with every transfer mediated by a
+//     central scheduler and slower serialization.
+//
+// All baselines assume the full participant set is known up front — the
+// static-schedule property that makes them an ill fit for task systems
+// (§2.2) — and none of them tolerate participant failure.
+package baseline
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"hoplite/internal/netem"
+)
+
+// DefaultChunk is the pipelining chunk used by the chunked algorithms.
+const DefaultChunk = 256 << 10
+
+// Mesh is a static group of ranks with pairwise connections established
+// up front — the world model of MPI-style collective libraries.
+type Mesh struct {
+	fab    netem.Fabric
+	n      int
+	prefix string
+	ranks  []*Rank
+}
+
+// Rank is one process in the mesh.
+type Rank struct {
+	mesh  *Mesh
+	id    int
+	conns []net.Conn
+	wmu   []sync.Mutex
+	chunk int
+}
+
+// NewMesh builds an n-rank mesh on the fabric. Fabric node names are
+// prefix-0 … prefix-(n-1), so emulated shaping applies per rank.
+func NewMesh(fab netem.Fabric, n int, prefix string) (*Mesh, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("baseline: mesh size %d", n)
+	}
+	m := &Mesh{fab: fab, n: n, prefix: prefix}
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := fab.Listen(fmt.Sprintf("%s-%d", prefix, i))
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+	}
+	m.ranks = make([]*Rank, n)
+	for i := range m.ranks {
+		m.ranks[i] = &Rank{mesh: m, id: i, conns: make([]net.Conn, n), wmu: make([]sync.Mutex, n), chunk: DefaultChunk}
+	}
+
+	// Accept side: each listener accepts n-1-i connections (rank i dials
+	// every rank j > i), reading the dialer's rank first.
+	var wg sync.WaitGroup
+	errCh := make(chan error, n*n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := i + 1; j < n; j++ {
+				conn, err := lns[i].Accept()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var hdr [4]byte
+				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+					errCh <- err
+					return
+				}
+				peer := int(binary.BigEndian.Uint32(hdr[:]))
+				m.ranks[i].conns[peer] = conn
+			}
+		}(i)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			conn, err := fab.Dial(ctx, fmt.Sprintf("%s-%d", prefix, j), lns[i].Addr().String())
+			if err != nil {
+				return nil, fmt.Errorf("baseline: connect %d->%d: %w", j, i, err)
+			}
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], uint32(j))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				return nil, err
+			}
+			m.ranks[j].conns[i] = conn
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return m, nil
+}
+
+// Size returns the number of ranks.
+func (m *Mesh) Size() int { return m.n }
+
+// Rank returns rank i.
+func (m *Mesh) Rank(i int) *Rank { return m.ranks[i] }
+
+// Close tears down every connection.
+func (m *Mesh) Close() error {
+	for _, r := range m.ranks {
+		for _, c := range r.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	return nil
+}
+
+// ID returns the rank index.
+func (r *Rank) ID() int { return r.id }
+
+// Send streams data to a peer rank in chunks. Collective algorithms use
+// each (conn, direction) from a single goroutine at a time by
+// construction; the per-peer write lock guards accidental overlap.
+func (r *Rank) Send(to int, data []byte) error {
+	r.wmu[to].Lock()
+	defer r.wmu[to].Unlock()
+	conn := r.conns[to]
+	if conn == nil {
+		return fmt.Errorf("baseline: rank %d has no conn to %d", r.id, to)
+	}
+	for len(data) > 0 {
+		c := data
+		if len(c) > r.chunk {
+			c = c[:r.chunk]
+		}
+		if _, err := conn.Write(c); err != nil {
+			return err
+		}
+		data = data[len(c):]
+	}
+	return nil
+}
+
+// Recv fills buf with exactly len(buf) bytes from the peer rank.
+func (r *Rank) Recv(from int, buf []byte) error {
+	conn := r.conns[from]
+	if conn == nil {
+		return fmt.Errorf("baseline: rank %d has no conn to %d", r.id, from)
+	}
+	_, err := io.ReadFull(conn, buf)
+	return err
+}
+
+// SendRecv overlaps a send and a receive with different peers (or the
+// same peer), as ring algorithms require.
+func (r *Rank) SendRecv(to int, sendBuf []byte, from int, recvBuf []byte) error {
+	errc := make(chan error, 2)
+	go func() { errc <- r.Send(to, sendBuf) }()
+	go func() { errc <- r.Recv(from, recvBuf) }()
+	var first error
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

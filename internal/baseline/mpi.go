@@ -1,0 +1,367 @@
+package baseline
+
+import (
+	"fmt"
+
+	"hoplite/internal/types"
+)
+
+// The MPI-style collectives below follow OpenMPI's classic algorithm
+// choices: binomial trees for small messages, pipelined chains for large
+// ones, ring and recursive-halving-doubling allreduce. Every rank of the
+// mesh calls the same method with the same arguments; the call returns
+// when that rank's part of the schedule completes. The schedule is static
+// (fixed by rank), which is exactly the property Figure 8 probes: a late
+// participant stalls everything downstream of it in the tree.
+
+// LargeMessage is the algorithm-switch threshold (bytes): below it the
+// tree algorithms run un-pipelined; above it chains with chunk pipelining
+// are used.
+const LargeMessage = 1 << 20
+
+func (r *Rank) vrank(root int) int    { return (r.id - root + r.mesh.n) % r.mesh.n }
+func (r *Rank) real(vr, root int) int { return (vr + root) % r.mesh.n }
+
+// Bcast broadcasts root's data to every rank, choosing binomial tree for
+// small messages and a pipelined chain for large ones.
+func (r *Rank) Bcast(root int, data []byte) error {
+	if len(data) >= LargeMessage && r.mesh.n > 2 {
+		return r.BcastChain(root, data)
+	}
+	return r.BcastBinomial(root, data)
+}
+
+// BcastBinomial is the classic binomial-tree broadcast: log2(n) rounds,
+// full message per hop.
+func (r *Rank) BcastBinomial(root int, data []byte) error {
+	n := r.mesh.n
+	vr := r.vrank(root)
+	mask := 1
+	for mask < n {
+		if vr&mask != 0 {
+			parent := r.real(vr-mask, root)
+			if err := r.Recv(parent, data); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < n {
+			child := r.real(vr+mask, root)
+			if err := r.Send(child, data); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// BcastChain streams the message down a rank-ordered chain in chunks:
+// time ≈ S/B + n·(chunk/B), near-optimal for large messages.
+func (r *Rank) BcastChain(root int, data []byte) error {
+	n := r.mesh.n
+	vr := r.vrank(root)
+	chunk := r.chunk
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if vr > 0 {
+			if err := r.Recv(r.real(vr-1, root), data[off:end]); err != nil {
+				return err
+			}
+		}
+		if vr < n-1 {
+			if err := r.Send(r.real(vr+1, root), data[off:end]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Reduce folds every rank's data element-wise into root's result buffer.
+// data is each rank's contribution; on root it is overwritten with the
+// result. Algorithm selection mirrors Bcast.
+func (r *Rank) Reduce(root int, op types.ReduceOp, data []byte) error {
+	if len(data) >= LargeMessage && r.mesh.n > 2 {
+		return r.ReduceChain(root, op, data)
+	}
+	return r.ReduceBinomial(root, op, data)
+}
+
+// ReduceBinomial is the classic binomial-tree reduce.
+func (r *Rank) ReduceBinomial(root int, op types.ReduceOp, data []byte) error {
+	n := r.mesh.n
+	vr := r.vrank(root)
+	tmp := make([]byte, len(data))
+	mask := 1
+	for mask < n {
+		if vr&mask == 0 {
+			src := vr + mask
+			if src < n {
+				if err := r.Recv(r.real(src, root), tmp); err != nil {
+					return err
+				}
+				if err := op.Accumulate(data, tmp); err != nil {
+					return err
+				}
+			}
+		} else {
+			parent := r.real(vr-mask, root)
+			return r.Send(parent, data)
+		}
+		mask <<= 1
+	}
+	return nil
+}
+
+// ReduceChain streams partial sums down a chain with chunk pipelining:
+// the leaf sends its chunks to its neighbour, which folds in its own data
+// and forwards, ending at the root — time ≈ S/B + n·(chunk/B).
+func (r *Rank) ReduceChain(root int, op types.ReduceOp, data []byte) error {
+	n := r.mesh.n
+	vr := r.vrank(root)
+	chunk := r.chunk
+	if es := op.DType.Size(); es > 0 {
+		chunk -= chunk % es
+	}
+	tmp := make([]byte, chunk)
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if vr < n-1 {
+			if err := r.Recv(r.real(vr+1, root), tmp[:end-off]); err != nil {
+				return err
+			}
+			if err := op.Accumulate(data[off:end], tmp[:end-off]); err != nil {
+				return err
+			}
+		}
+		if vr > 0 {
+			if err := r.Send(r.real(vr-1, root), data[off:end]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Gather sends every rank's data to root. On root, parts[i] receives rank
+// i's data (parts[root] is left untouched — the caller owns its copy);
+// on other ranks parts is ignored.
+func (r *Rank) Gather(root int, data []byte, parts [][]byte) error {
+	if r.id != root {
+		return r.Send(root, data)
+	}
+	errc := make(chan error, r.mesh.n-1)
+	for i := 0; i < r.mesh.n; i++ {
+		if i == root {
+			continue
+		}
+		go func(i int) { errc <- r.Recv(i, parts[i]) }(i)
+	}
+	var first error
+	for i := 0; i < r.mesh.n-1; i++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// AllReduceRing is the bandwidth-optimal ring allreduce: a reduce-scatter
+// pass followed by an allgather pass, 2(n-1) neighbour exchanges of S/n
+// bytes each. chunked selects Gloo's "ring-chunked" variant, which
+// subdivides segment exchanges for smoother pipelining.
+func (r *Rank) AllReduceRing(op types.ReduceOp, data []byte, chunked bool) error {
+	n := r.mesh.n
+	if n == 1 {
+		return nil
+	}
+	es := op.DType.Size()
+	if es == 0 {
+		return fmt.Errorf("baseline: bad dtype")
+	}
+	// Segment boundaries, element-aligned.
+	offs := make([]int, n+1)
+	elems := len(data) / es
+	for i := 0; i <= n; i++ {
+		offs[i] = (elems * i / n) * es
+	}
+	seg := func(i int) []byte { i = ((i % n) + n) % n; return data[offs[i]:offs[i+1]] }
+
+	right := (r.id + 1) % n
+	left := (r.id - 1 + n) % n
+	maxSeg := 0
+	for i := 0; i < n; i++ {
+		if s := offs[i+1] - offs[i]; s > maxSeg {
+			maxSeg = s
+		}
+	}
+	tmp := make([]byte, maxSeg)
+	oldChunk := r.chunk
+	if !chunked {
+		r.chunk = 1 << 30 // whole-segment sends
+	}
+	defer func() { r.chunk = oldChunk }()
+
+	// Reduce-scatter: after step s, rank owns fully reduced segment
+	// (rank+1) at the end.
+	for step := 0; step < n-1; step++ {
+		sendIdx := r.id - step
+		recvIdx := r.id - step - 1
+		recvBuf := tmp[:len(seg(recvIdx))]
+		if err := r.SendRecv(right, seg(sendIdx), left, recvBuf); err != nil {
+			return err
+		}
+		if err := op.Accumulate(seg(recvIdx), recvBuf); err != nil {
+			return err
+		}
+	}
+	// Allgather: circulate the reduced segments.
+	for step := 0; step < n-1; step++ {
+		sendIdx := r.id - step + 1
+		recvIdx := r.id - step
+		if err := r.SendRecv(right, seg(sendIdx), left, seg(recvIdx)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllReduceHD is recursive halving-doubling allreduce: reduce-scatter by
+// recursive halving, allgather by recursive doubling — 2·log2(p) rounds,
+// ≈2·S/B total bytes per rank. Non-power-of-two rank counts fold the
+// extras onto partners first (the standard MPI trick).
+func (r *Rank) AllReduceHD(op types.ReduceOp, data []byte) error {
+	n := r.mesh.n
+	if n == 1 {
+		return nil
+	}
+	es := op.DType.Size()
+	if es == 0 {
+		return fmt.Errorf("baseline: bad dtype")
+	}
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	extra := n - p
+	nr := -1 // rank within the power-of-two group; -1 = folded out
+	tmpFull := make([]byte, len(data))
+	switch {
+	case r.id < 2*extra && r.id%2 == 1:
+		// Odd ranks in the folding zone contribute and wait.
+		if err := r.Send(r.id-1, data); err != nil {
+			return err
+		}
+		if err := r.Recv(r.id-1, data); err != nil {
+			return err
+		}
+		return nil
+	case r.id < 2*extra:
+		if err := r.Recv(r.id+1, tmpFull); err != nil {
+			return err
+		}
+		if err := op.Accumulate(data, tmpFull); err != nil {
+			return err
+		}
+		nr = r.id / 2
+	default:
+		nr = r.id - extra
+	}
+	realOf := func(nr int) int {
+		if nr < extra {
+			return nr * 2
+		}
+		return nr + extra
+	}
+
+	// Reduce-scatter via recursive halving, recording each level so the
+	// allgather can replay it in reverse.
+	type level struct {
+		partner                            int
+		sendOff, sendCnt, recvOff, recvCnt int
+	}
+	var levels []level
+	offset, count := 0, len(data)
+	for mask := 1; mask < p; mask <<= 1 {
+		partner := realOf(nr ^ mask)
+		half := (count / 2 / es) * es
+		var lv level
+		lv.partner = partner
+		if nr&mask == 0 {
+			lv.sendOff, lv.sendCnt = offset+half, count-half
+			lv.recvOff, lv.recvCnt = offset, half
+			count = half
+		} else {
+			lv.sendOff, lv.sendCnt = offset, half
+			lv.recvOff, lv.recvCnt = offset+half, count-half
+			offset += half
+			count = count - half
+		}
+		recvBuf := tmpFull[:lv.recvCnt]
+		if err := r.SendRecv(partner, data[lv.sendOff:lv.sendOff+lv.sendCnt], partner, recvBuf); err != nil {
+			return err
+		}
+		if err := op.Accumulate(data[lv.recvOff:lv.recvOff+lv.recvCnt], recvBuf); err != nil {
+			return err
+		}
+		levels = append(levels, lv)
+	}
+	// Allgather via recursive doubling (reverse order): exchange the part
+	// we own for the part the partner owns.
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		if err := r.SendRecv(lv.partner, data[lv.recvOff:lv.recvOff+lv.recvCnt], lv.partner, data[lv.sendOff:lv.sendOff+lv.sendCnt]); err != nil {
+			return err
+		}
+	}
+	// Hand results back to folded-out partners.
+	if r.id < 2*extra && r.id%2 == 0 {
+		if err := r.Send(r.id+1, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllReduceTreeBcast is MPI's simple allreduce: reduce to rank 0 then
+// broadcast, used for comparison in Figure 8's asynchrony experiment.
+func (r *Rank) AllReduceTreeBcast(op types.ReduceOp, data []byte) error {
+	if err := r.Reduce(0, op, data); err != nil {
+		return err
+	}
+	return r.Bcast(0, data)
+}
+
+// GlooBcast is Gloo's unoptimized broadcast: the root sends the full
+// message to every receiver directly (the paper notes Gloo does not
+// optimize broadcast, §5.1.2).
+func (r *Rank) GlooBcast(root int, data []byte) error {
+	if r.id == root {
+		errc := make(chan error, r.mesh.n-1)
+		for i := 0; i < r.mesh.n; i++ {
+			if i == root {
+				continue
+			}
+			go func(i int) { errc <- r.Send(i, data) }(i)
+		}
+		var first error
+		for i := 0; i < r.mesh.n-1; i++ {
+			if err := <-errc; err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return r.Recv(root, data)
+}

@@ -1,0 +1,190 @@
+package baseline
+
+import (
+	"time"
+
+	"hoplite/internal/types"
+)
+
+// NaiveConfig models the overheads of object-store baselines that lack
+// collective optimization and pipelining.
+type NaiveConfig struct {
+	// CopyBytesPerSec models the worker↔store memory copies that are NOT
+	// overlapped with network transfer (Ray and Dask both pay one copy on
+	// Put and one on Get, §5.1.1). Zero disables the cost.
+	CopyBytesPerSec float64
+	// OpOverhead is a fixed per-operation cost (driver dispatch,
+	// serialization setup); dominates small objects (Appendix A).
+	OpOverhead time.Duration
+	// SchedulerRTT is the control latency paid per transfer for talking
+	// to a central scheduler: zero for Ray-like (distributed
+	// scheduling), positive for Dask-like (coordinator-mediated).
+	SchedulerRTT time.Duration
+}
+
+// RayLike returns the overhead model used for the "Ray" baseline bars.
+func RayLike(linkBytesPerSec float64) NaiveConfig {
+	return NaiveConfig{CopyBytesPerSec: 4 * linkBytesPerSec, OpOverhead: time.Millisecond}
+}
+
+// DaskLike returns the overhead model used for the "Dask" baseline bars:
+// slower serialization and coordinator-mediated transfers.
+func DaskLike(linkBytesPerSec float64) NaiveConfig {
+	return NaiveConfig{CopyBytesPerSec: 2 * linkBytesPerSec, OpOverhead: 4 * time.Millisecond, SchedulerRTT: 2 * time.Millisecond}
+}
+
+// Naive is an object-store baseline bound to one mesh rank.
+type Naive struct {
+	r   *Rank
+	cfg NaiveConfig
+}
+
+// NewNaive wraps a rank with the overhead model.
+func NewNaive(r *Rank, cfg NaiveConfig) *Naive { return &Naive{r: r, cfg: cfg} }
+
+func (x *Naive) copyCost(bytes int) {
+	if x.cfg.CopyBytesPerSec > 0 {
+		time.Sleep(time.Duration(float64(bytes) / x.cfg.CopyBytesPerSec * float64(time.Second)))
+	}
+	time.Sleep(x.cfg.OpOverhead)
+}
+
+// schedule models the Dask-style scheduler round trip(s) a transfer pays
+// before any data moves.
+func (x *Naive) schedule() error {
+	if x.cfg.SchedulerRTT > 0 {
+		time.Sleep(x.cfg.SchedulerRTT)
+	}
+	return nil
+}
+
+// P2P performs one direction of a point-to-point transfer: the sender
+// pays the Put copy before any bytes hit the wire (no pipelining), the
+// receiver pays the Get copy after the last byte arrives.
+func (x *Naive) P2P(to, from int, data []byte, isSender bool) error {
+	if isSender {
+		x.copyCost(len(data)) // Put: worker → store, unoverlapped
+		return x.r.Send(to, data)
+	}
+	if err := x.schedule(); err != nil {
+		return err
+	}
+	if err := x.r.Recv(from, data); err != nil {
+		return err
+	}
+	x.copyCost(len(data)) // Get: store → worker, unoverlapped
+	return nil
+}
+
+// Bcast is the unoptimized broadcast of task systems without collective
+// support: every receiver fetches the full object from the creator, so
+// the creator's egress is the bottleneck (n−1)·S/B (§2.2).
+func (x *Naive) Bcast(root int, data []byte) error {
+	if x.r.id == root {
+		x.copyCost(len(data))
+		errc := make(chan error, x.r.mesh.n-1)
+		for i := 0; i < x.r.mesh.n; i++ {
+			if i == root {
+				continue
+			}
+			go func(i int) { errc <- x.r.Send(i, data) }(i)
+		}
+		var first error
+		for i := 0; i < x.r.mesh.n-1; i++ {
+			if err := <-errc; err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	if err := x.schedule(); err != nil {
+		return err
+	}
+	if err := x.r.Recv(root, data); err != nil {
+		return err
+	}
+	x.copyCost(len(data))
+	return nil
+}
+
+// Reduce pulls every object to the root, which folds them one at a time —
+// the parameter-server ingestion pattern that bottlenecks Ray in Figure 9.
+func (x *Naive) Reduce(root int, op types.ReduceOp, data []byte) error {
+	if x.r.id != root {
+		x.copyCost(len(data))
+		if err := x.schedule(); err != nil {
+			return err
+		}
+		return x.r.Send(root, data)
+	}
+	n := x.r.mesh.n
+	parts := make([][]byte, n)
+	errc := make(chan error, n-1)
+	for i := 0; i < n; i++ {
+		if i == root {
+			continue
+		}
+		parts[i] = make([]byte, len(data))
+		go func(i int) { errc <- x.r.Recv(i, parts[i]) }(i)
+	}
+	var first error
+	for i := 0; i < n-1; i++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return first
+	}
+	for i := 0; i < n; i++ {
+		if i == root {
+			continue
+		}
+		x.copyCost(len(data)) // per-object Get copy before applying
+		if err := op.Accumulate(data, parts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gather pulls every object to the root without folding.
+func (x *Naive) Gather(root int, data []byte, parts [][]byte) error {
+	if x.r.id != root {
+		x.copyCost(len(data))
+		if err := x.schedule(); err != nil {
+			return err
+		}
+		return x.r.Send(root, data)
+	}
+	n := x.r.mesh.n
+	errc := make(chan error, n-1)
+	for i := 0; i < n; i++ {
+		if i == root {
+			continue
+		}
+		go func(i int) { errc <- x.r.Recv(i, parts[i]) }(i)
+	}
+	var first error
+	for i := 0; i < n-1; i++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	for i := 0; i < n; i++ {
+		if i != root {
+			x.copyCost(len(data))
+		}
+	}
+	return first
+}
+
+// AllReduce is reduce-to-root followed by root-broadcast — both ends
+// bottlenecked at the root, which is why Ray's allreduce is an order of
+// magnitude slower in Figure 7 group (i).
+func (x *Naive) AllReduce(root int, op types.ReduceOp, data []byte) error {
+	if err := x.Reduce(root, op, data); err != nil {
+		return err
+	}
+	return x.Bcast(root, data)
+}

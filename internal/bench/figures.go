@@ -1,0 +1,368 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"hoplite"
+	"hoplite/internal/baseline"
+)
+
+// Table is one regenerated figure/table: a title, a header row, and data
+// rows (all pre-formatted strings).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n## %s\n\n", t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	sep := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		sep[i] = strings.Repeat("-", len(c))
+	}
+	fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+}
+
+func fmtDur(d time.Duration, err error) string {
+	if err != nil {
+		return "ERR(" + err.Error() + ")"
+	}
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+func fmtSize(paper int64) string {
+	switch {
+	case paper >= 1<<30:
+		return fmt.Sprintf("%dGB", paper>>30)
+	case paper >= 1<<20:
+		return fmt.Sprintf("%dMB", paper>>20)
+	default:
+		return fmt.Sprintf("%dKB", paper>>10)
+	}
+}
+
+// repeat runs fn sc.Repeats times and returns the mean.
+func (sc Scale) repeat(fn func() (time.Duration, error)) (time.Duration, error) {
+	reps := sc.Repeats
+	if reps <= 0 {
+		reps = 1
+	}
+	var total time.Duration
+	for i := 0; i < reps; i++ {
+		d, err := fn()
+		if err != nil {
+			return 0, err
+		}
+		total += d
+	}
+	return total / time.Duration(reps), nil
+}
+
+// Figure6 regenerates the point-to-point RTT comparison (Optimal,
+// Hoplite, OpenMPI, Ray, Dask) for the paper's 1KB / 1MB / 1GB points.
+func Figure6(sc Scale) ([]*Table, error) {
+	sizes := []int64{1 << 10, 1 << 20, 1 << 30}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 6: point-to-point RTT (sizes scaled 1/%d)", sc.SizeDivisor),
+		Columns: []string{"size(paper)", "Optimal", "Hoplite", "OpenMPI", "Ray", "Dask"},
+	}
+	he, err := NewHopliteEnv(sc, 2, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer he.Close()
+	me, err := NewMeshEnv(sc, 2)
+	if err != nil {
+		return nil, err
+	}
+	defer me.Close()
+	for _, paper := range sizes {
+		size := sc.Size(paper)
+		row := []string{fmtSize(paper)}
+		row = append(row, fmtDur(2*sc.Optimal(size), nil))
+		d, err := sc.repeat(func() (time.Duration, error) { return he.P2P(size) })
+		row = append(row, fmtDur(d, err))
+		d, err = sc.repeat(func() (time.Duration, error) { return me.MPIP2P(size) })
+		row = append(row, fmtDur(d, err))
+		d, err = sc.repeat(func() (time.Duration, error) { return me.NaiveP2P(size, rayNaive(sc.Bandwidth)) })
+		row = append(row, fmtDur(d, err))
+		d, err = sc.repeat(func() (time.Duration, error) { return me.NaiveP2P(size, daskNaive(sc.Bandwidth)) })
+		row = append(row, fmtDur(d, err))
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}, nil
+}
+
+// rayNaive and daskNaive bind the baseline overhead models to the scale's
+// link bandwidth.
+func rayNaive(bw float64) baseline.NaiveConfig  { return baseline.RayLike(bw) }
+func daskNaive(bw float64) baseline.NaiveConfig { return baseline.DaskLike(bw) }
+
+// DirectoryMicro regenerates the §5.1.1 directory micro-benchmark: the
+// paper reports 167 µs per location write and 177 µs per location read.
+func DirectoryMicro(sc Scale) ([]*Table, error) {
+	he, err := NewHopliteEnv(sc, 4, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer he.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	dir := he.C.Node(1).Directory()
+	const iters = 200
+	oids := make([]hoplite.ObjectID, iters)
+	for i := range oids {
+		oids[i] = hoplite.RandomObjectID()
+	}
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := dir.PutStarted(ctx, oids[i], 1024); err != nil {
+			return nil, err
+		}
+	}
+	write := time.Since(t0) / iters
+	t0 = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := dir.Lookup(ctx, oids[i], false); err != nil {
+			return nil, err
+		}
+	}
+	read := time.Since(t0) / iters
+	t := &Table{
+		Title:   "§5.1.1: object directory service latency (paper: write 167µs, read 177µs)",
+		Columns: []string{"op", "latency"},
+		Rows: [][]string{
+			{"write location", fmtDur(write, nil)},
+			{"read location", fmtDur(read, nil)},
+		},
+	}
+	return []*Table{t}, nil
+}
+
+// figure7Systems enumerates the per-primitive system columns of Figure 7
+// (and Figure 14, which is the same grid at small sizes).
+func figure7Systems(prim string) []string {
+	switch prim {
+	case "broadcast":
+		return []string{"Hoplite", "OpenMPI", "Ray", "Dask", "Gloo"}
+	case "gather", "reduce":
+		return []string{"Hoplite", "OpenMPI", "Ray", "Dask"}
+	case "allreduce":
+		return []string{"Hoplite", "OpenMPI", "Ray", "Dask", "Gloo(ring-chunked)", "Gloo(halving-doubling)"}
+	}
+	return nil
+}
+
+// FigureGrid regenerates the Figure 7 / Figure 14 grid for the given
+// paper sizes and node counts.
+func FigureGrid(sc Scale, title string, sizes []int64, nodes []int) ([]*Table, error) {
+	prims := []string{"broadcast", "gather", "reduce", "allreduce"}
+	var tables []*Table
+	for _, paper := range sizes {
+		size := sc.Size(paper)
+		envs := map[int]*HopliteEnv{}
+		meshes := map[int]*MeshEnv{}
+		for _, n := range nodes {
+			he, err := NewHopliteEnv(sc, n, 0)
+			if err != nil {
+				return nil, err
+			}
+			me, err := NewMeshEnv(sc, n)
+			if err != nil {
+				he.Close()
+				return nil, err
+			}
+			envs[n], meshes[n] = he, me
+		}
+		for _, prim := range prims {
+			t := &Table{
+				Title:   fmt.Sprintf("%s: %s %s (scaled to %d bytes)", title, prim, fmtSize(paper), size),
+				Columns: append([]string{"nodes"}, figure7Systems(prim)...),
+			}
+			for _, n := range nodes {
+				he, me := envs[n], meshes[n]
+				row := []string{fmt.Sprint(n)}
+				for _, cell := range gridCells(prim, sc, he, me, size) {
+					d, err := sc.repeat(cell)
+					row = append(row, fmtDur(d, err))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			tables = append(tables, t)
+		}
+		for _, n := range nodes {
+			envs[n].Close()
+			meshes[n].Close()
+		}
+	}
+	return tables, nil
+}
+
+func gridCells(prim string, sc Scale, he *HopliteEnv, me *MeshEnv, size int64) []func() (time.Duration, error) {
+	ray := NaiveCollective(prim, rayNaive)
+	dask := NaiveCollective(prim, daskNaive)
+	switch prim {
+	case "broadcast":
+		return []func() (time.Duration, error){
+			func() (time.Duration, error) { return he.Broadcast(size, nil) },
+			func() (time.Duration, error) { return MPIBroadcast(me, size, nil) },
+			func() (time.Duration, error) { return ray(me, size, nil) },
+			func() (time.Duration, error) { return dask(me, size, nil) },
+			func() (time.Duration, error) { return GlooBroadcast(me, size, nil) },
+		}
+	case "gather":
+		return []func() (time.Duration, error){
+			func() (time.Duration, error) { return he.Gather(size) },
+			func() (time.Duration, error) { return MPIGather(me, size, nil) },
+			func() (time.Duration, error) { return ray(me, size, nil) },
+			func() (time.Duration, error) { return dask(me, size, nil) },
+		}
+	case "reduce":
+		return []func() (time.Duration, error){
+			func() (time.Duration, error) { return he.Reduce(size, nil) },
+			func() (time.Duration, error) { return MPIReduce(me, size, nil) },
+			func() (time.Duration, error) { return ray(me, size, nil) },
+			func() (time.Duration, error) { return dask(me, size, nil) },
+		}
+	case "allreduce":
+		return []func() (time.Duration, error){
+			func() (time.Duration, error) { return he.AllReduce(size, nil) },
+			func() (time.Duration, error) { return MPIAllReduce(me, size, nil) },
+			func() (time.Duration, error) { return ray(me, size, nil) },
+			func() (time.Duration, error) { return dask(me, size, nil) },
+			func() (time.Duration, error) { return GlooRingChunked(me, size, nil) },
+			func() (time.Duration, error) { return GlooHalvingDoubling(me, size, nil) },
+		}
+	}
+	return nil
+}
+
+// Figure7 regenerates the medium/large-object collective grid.
+func Figure7(sc Scale, nodes []int) ([]*Table, error) {
+	return FigureGrid(sc, "Figure 7", []int64{1 << 20, 32 << 20, 1 << 30}, nodes)
+}
+
+// Figure14 regenerates Appendix A: the same grid at 1 KB and 32 KB, where
+// Hoplite's small-object fast path applies.
+func Figure14(sc Scale, nodes []int) ([]*Table, error) {
+	return FigureGrid(sc, "Figure 14 (Appendix A)", []int64{1 << 10, 32 << 10}, nodes)
+}
+
+// Figure8 regenerates the asynchrony experiment: 16-node collectives on a
+// paper-1GB object with participants arriving at fixed intervals.
+func Figure8(sc Scale, n int, intervals []time.Duration) ([]*Table, error) {
+	size := sc.Size(1 << 30)
+	he, err := NewHopliteEnv(sc, n, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer he.Close()
+	me, err := NewMeshEnv(sc, n)
+	if err != nil {
+		return nil, err
+	}
+	defer me.Close()
+
+	// Arrival intervals must scale with the *transfer time*, not the raw
+	// size divisor, so the interval-to-transfer ratio matches the paper's
+	// (0.1–0.3 s against a ~0.86 s 1 GB transfer at 10 Gbps).
+	paperTransfer := float64(1<<30) / 1.25e9
+	ratio := sc.Optimal(size).Seconds() / paperTransfer
+	mk := func(title string, cols []string, cells func(iv time.Duration) []func() (time.Duration, error)) (*Table, error) {
+		t := &Table{
+			Title:   fmt.Sprintf("Figure 8: %s, paper-1GB, %d nodes (time scale ×%.4f)", title, n, ratio),
+			Columns: append([]string{"interval(paper)"}, cols...),
+		}
+		for _, iv := range intervals {
+			scaled := time.Duration(float64(iv) * ratio)
+			row := []string{fmt.Sprintf("%.1fs", iv.Seconds())}
+			for _, cell := range cells(scaled) {
+				d, err := sc.repeat(cell)
+				row = append(row, fmtDur(d, err))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t, nil
+	}
+
+	bt, err := mk("broadcast", []string{"Hoplite", "OpenMPI"}, func(iv time.Duration) []func() (time.Duration, error) {
+		arr := Staggered(n, iv)
+		return []func() (time.Duration, error){
+			func() (time.Duration, error) { return he.Broadcast(size, arr) },
+			func() (time.Duration, error) { return MPIBroadcast(me, size, arr) },
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt, err := mk("reduce", []string{"Hoplite", "OpenMPI"}, func(iv time.Duration) []func() (time.Duration, error) {
+		arr := Staggered(n, iv)
+		return []func() (time.Duration, error){
+			func() (time.Duration, error) { return he.Reduce(size, arr) },
+			func() (time.Duration, error) { return MPIReduce(me, size, arr) },
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	at, err := mk("allreduce", []string{"Hoplite", "OpenMPI", "Gloo(ring-chunked)"}, func(iv time.Duration) []func() (time.Duration, error) {
+		arr := Staggered(n, iv)
+		return []func() (time.Duration, error){
+			func() (time.Duration, error) { return he.AllReduce(size, arr) },
+			func() (time.Duration, error) { return MPIAllReduce(me, size, arr) },
+			func() (time.Duration, error) { return GlooRingChunked(me, size, arr) },
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{bt, rt, at}, nil
+}
+
+// Figure15 regenerates Appendix B: reduce latency for forced tree degrees
+// d ∈ {1, 2, n} across object sizes and node counts.
+func Figure15(sc Scale, sizes []int64, nodes []int) ([]*Table, error) {
+	var tables []*Table
+	for _, paper := range sizes {
+		size := sc.Size(paper)
+		t := &Table{
+			Title:   fmt.Sprintf("Figure 15 (Appendix B): reduce latency vs tree degree, %s (scaled to %d bytes)", fmtSize(paper), size),
+			Columns: []string{"nodes", "d=1", "d=2", "d=n"},
+		}
+		for _, n := range nodes {
+			row := []string{fmt.Sprint(n)}
+			for _, d := range []int{1, 2, n} {
+				he, err := NewHopliteEnv(sc, n, d)
+				if err != nil {
+					return nil, err
+				}
+				dur, err := sc.repeat(func() (time.Duration, error) { return he.Reduce(size, nil) })
+				he.Close()
+				row = append(row, fmtDur(dur, err))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

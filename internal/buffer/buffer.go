@@ -1,0 +1,282 @@
+// Package buffer implements the progress-tracked object buffer that
+// underpins Hoplite's fine-grained pipelining (§3.3 of the paper).
+//
+// A Buffer holds the payload of one immutable object. Exactly one writer
+// appends bytes sequentially, advancing a watermark; any number of readers
+// stream concurrently, blocking until the bytes they need are available.
+// This lets an object that is still being produced — by a local Put copy, a
+// network transfer, or a streaming reduce — simultaneously feed downstream
+// transfers, which is how a partial copy acts as a broadcast intermediary
+// or a reduce input.
+package buffer
+
+import (
+	"context"
+	"io"
+	"sync"
+
+	"hoplite/internal/types"
+)
+
+// Buffer is a fixed-size object payload with a monotonically advancing
+// watermark. The zero value is not usable; call New.
+type Buffer struct {
+	mu        sync.Mutex
+	updated   chan struct{} // closed and replaced on every state change
+	data      []byte
+	watermark int64
+	sealed    bool
+	err       error
+}
+
+// New returns an empty buffer for an object of the given size.
+func New(size int64) *Buffer {
+	if size < 0 {
+		panic("buffer: negative size")
+	}
+	return &Buffer{
+		updated: make(chan struct{}),
+		data:    make([]byte, size),
+	}
+}
+
+// FromBytes returns a sealed buffer wrapping b without copying.
+func FromBytes(b []byte) *Buffer {
+	buf := &Buffer{
+		updated:   make(chan struct{}),
+		data:      b,
+		watermark: int64(len(b)),
+		sealed:    true,
+	}
+	return buf
+}
+
+// Size returns the total object size.
+func (b *Buffer) Size() int64 { return int64(len(b.data)) }
+
+// Watermark returns the number of contiguous bytes written so far.
+func (b *Buffer) Watermark() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.watermark
+}
+
+// Complete reports whether the buffer has been sealed with all bytes
+// present.
+func (b *Buffer) Complete() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sealed && b.err == nil
+}
+
+// Failed returns the abort error, or nil.
+func (b *Buffer) Failed() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+func (b *Buffer) signalLocked() {
+	close(b.updated)
+	b.updated = make(chan struct{})
+}
+
+// Append writes p at the current watermark. It returns types.ErrAborted if
+// the buffer failed, and panics if the write would exceed the object size
+// or the buffer is already sealed (writer bugs, not runtime conditions).
+func (b *Buffer) Append(p []byte) error {
+	if len(p) == 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return b.err
+	}
+	if b.sealed {
+		panic("buffer: append to sealed buffer")
+	}
+	if b.watermark+int64(len(p)) > int64(len(b.data)) {
+		panic("buffer: append past end of object")
+	}
+	copy(b.data[b.watermark:], p)
+	b.watermark += int64(len(p))
+	b.signalLocked()
+	return nil
+}
+
+// Seal marks the buffer complete. All bytes must have been appended.
+func (b *Buffer) Seal() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return
+	}
+	if b.watermark != int64(len(b.data)) {
+		panic("buffer: seal before all bytes written")
+	}
+	b.sealed = true
+	b.signalLocked()
+}
+
+// Fail aborts the buffer, waking all waiters with err. It is a no-op on a
+// sealed or already-failed buffer. Fail with a nil error uses
+// types.ErrAborted.
+func (b *Buffer) Fail(err error) {
+	if err == nil {
+		err = types.ErrAborted
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.sealed || b.err != nil {
+		return
+	}
+	b.err = err
+	b.signalLocked()
+}
+
+// Reset rewinds a failed buffer so a new writer can retry from offset,
+// keeping the first offset bytes that were already received. It is used
+// when a transfer resumes from a different sender after a failure. Reset
+// panics if offset exceeds the current watermark.
+func (b *Buffer) Reset(offset int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if offset > b.watermark || offset < 0 {
+		panic("buffer: reset past watermark")
+	}
+	b.watermark = offset
+	b.sealed = false
+	b.err = nil
+	b.signalLocked()
+}
+
+// WaitAt blocks until at least off+1 bytes are available, the buffer is
+// sealed, the buffer fails, or ctx is done. It returns the current
+// watermark and whether the buffer is complete.
+func (b *Buffer) WaitAt(ctx context.Context, off int64) (watermark int64, complete bool, err error) {
+	for {
+		b.mu.Lock()
+		if b.err != nil {
+			err := b.err
+			b.mu.Unlock()
+			return 0, false, err
+		}
+		if b.watermark > off || b.sealed {
+			w, s := b.watermark, b.sealed
+			b.mu.Unlock()
+			return w, s, nil
+		}
+		ch := b.updated
+		b.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return 0, false, ctx.Err()
+		}
+	}
+}
+
+// WaitComplete blocks until the buffer is sealed, fails, or ctx is done.
+func (b *Buffer) WaitComplete(ctx context.Context) error {
+	for {
+		b.mu.Lock()
+		if b.err != nil {
+			err := b.err
+			b.mu.Unlock()
+			return err
+		}
+		if b.sealed {
+			b.mu.Unlock()
+			return nil
+		}
+		ch := b.updated
+		b.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// ReadAt copies available bytes at off into p, blocking until at least one
+// byte is available there. It returns io.EOF when off is at or past the end
+// of a sealed buffer.
+func (b *Buffer) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
+	if off >= b.Size() {
+		if err := b.WaitComplete(ctx); err != nil {
+			return 0, err
+		}
+		return 0, io.EOF
+	}
+	w, complete, err := b.WaitAt(ctx, off)
+	if err != nil {
+		return 0, err
+	}
+	if w <= off {
+		if complete {
+			return 0, io.EOF
+		}
+		return 0, nil
+	}
+	n := copy(p, b.data[off:w])
+	return n, nil
+}
+
+// Bytes returns the underlying payload. Callers must treat the result as
+// read-only; bytes beyond the watermark are not yet meaningful. This is the
+// zero-copy path behind "immutable Get" (§3.3).
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// CopyTo streams the buffer's contents into w in chunks of at most
+// chunkSize as they become available, returning when the full object has
+// been written, the buffer fails, or ctx is done.
+func (b *Buffer) CopyTo(ctx context.Context, w io.Writer, chunkSize int) error {
+	if chunkSize <= 0 {
+		chunkSize = 256 << 10
+	}
+	var off int64
+	for off < b.Size() {
+		wm, _, err := b.WaitAt(ctx, off)
+		if err != nil {
+			return err
+		}
+		for off < wm {
+			end := off + int64(chunkSize)
+			if end > wm {
+				end = wm
+			}
+			if _, err := w.Write(b.data[off:end]); err != nil {
+				return err
+			}
+			off = end
+		}
+	}
+	return nil
+}
+
+// Reader returns an io.Reader that streams the buffer from the given
+// offset, blocking for bytes that have not been produced yet.
+func (b *Buffer) Reader(ctx context.Context, off int64) io.Reader {
+	return &reader{ctx: ctx, b: b, off: off}
+}
+
+type reader struct {
+	ctx context.Context
+	b   *Buffer
+	off int64
+}
+
+func (r *reader) Read(p []byte) (int, error) {
+	for {
+		n, err := r.b.ReadAt(r.ctx, p, r.off)
+		if err != nil {
+			return n, err
+		}
+		if n > 0 {
+			r.off += int64(n)
+			return n, nil
+		}
+	}
+}

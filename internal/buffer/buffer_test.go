@@ -1,0 +1,344 @@
+package buffer
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hoplite/internal/types"
+)
+
+func ctxT(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestAppendSealBytes(t *testing.T) {
+	b := New(10)
+	if err := b.Append([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if b.Watermark() != 5 {
+		t.Fatalf("watermark %d", b.Watermark())
+	}
+	if b.Complete() {
+		t.Fatal("complete before seal")
+	}
+	if err := b.Append([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	b.Seal()
+	if !b.Complete() {
+		t.Fatal("not complete after seal")
+	}
+	if string(b.Bytes()) != "helloworld" {
+		t.Fatalf("bytes %q", b.Bytes())
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	b := FromBytes([]byte("abc"))
+	if !b.Complete() || b.Size() != 3 || b.Watermark() != 3 {
+		t.Fatal("FromBytes not sealed")
+	}
+}
+
+func TestAppendPastEndPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b := New(2)
+	b.Append([]byte("abc"))
+}
+
+func TestSealShortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b := New(4)
+	b.Append([]byte("ab"))
+	b.Seal()
+}
+
+func TestFailWakesWaiters(t *testing.T) {
+	b := New(100)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := b.WaitAt(ctxT(t), 50)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Fail(types.ErrAborted)
+	if err := <-done; !errors.Is(err, types.ErrAborted) {
+		t.Fatalf("got %v", err)
+	}
+	if b.Failed() == nil {
+		t.Fatal("Failed() nil")
+	}
+}
+
+func TestFailNilUsesErrAborted(t *testing.T) {
+	b := New(1)
+	b.Fail(nil)
+	if !errors.Is(b.Failed(), types.ErrAborted) {
+		t.Fatal("nil fail not mapped")
+	}
+}
+
+func TestFailAfterSealIgnored(t *testing.T) {
+	b := New(2)
+	b.Append([]byte("ab"))
+	b.Seal()
+	b.Fail(types.ErrAborted)
+	if b.Failed() != nil {
+		t.Fatal("sealed buffer failed")
+	}
+}
+
+func TestWaitAtReturnsImmediatelyWhenAvailable(t *testing.T) {
+	b := New(4)
+	b.Append([]byte("ab"))
+	wm, complete, err := b.WaitAt(ctxT(t), 0)
+	if err != nil || wm != 2 || complete {
+		t.Fatalf("wm=%d complete=%v err=%v", wm, complete, err)
+	}
+}
+
+func TestWaitAtContextCancel(t *testing.T) {
+	b := New(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	_, _, err := b.WaitAt(ctx, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestWaitComplete(t *testing.T) {
+	b := New(3)
+	done := make(chan error, 1)
+	go func() { done <- b.WaitComplete(ctxT(t)) }()
+	b.Append([]byte("ab"))
+	select {
+	case <-done:
+		t.Fatal("complete before seal")
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Append([]byte("c"))
+	b.Seal()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(6)
+	b.Append([]byte("abcd"))
+	b.Fail(types.ErrAborted)
+	b.Reset(2)
+	if b.Watermark() != 2 || b.Failed() != nil {
+		t.Fatal("reset did not rewind")
+	}
+	if err := b.Append([]byte("XYZD")); err != nil {
+		t.Fatal(err)
+	}
+	b.Seal()
+	if string(b.Bytes()) != "abXYZD" {
+		t.Fatalf("bytes %q", b.Bytes())
+	}
+}
+
+func TestResetPastWatermarkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b := New(4)
+	b.Append([]byte("a"))
+	b.Reset(3)
+}
+
+func TestReadAtStreaming(t *testing.T) {
+	b := New(8)
+	ctx := ctxT(t)
+	go func() {
+		for _, c := range []string{"ab", "cd", "ef", "gh"} {
+			time.Sleep(2 * time.Millisecond)
+			b.Append([]byte(c))
+		}
+		b.Seal()
+	}()
+	var got []byte
+	var off int64
+	buf := make([]byte, 3)
+	for {
+		n, err := b.ReadAt(ctx, buf, off)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:n]...)
+		off += int64(n)
+	}
+	if string(got) != "abcdefgh" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReader(t *testing.T) {
+	b := New(5)
+	go func() {
+		b.Append([]byte("hel"))
+		time.Sleep(5 * time.Millisecond)
+		b.Append([]byte("lo"))
+		b.Seal()
+	}()
+	out, err := io.ReadAll(b.Reader(ctxT(t), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "hello" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestReaderFromOffset(t *testing.T) {
+	b := FromBytes([]byte("abcdef"))
+	out, err := io.ReadAll(b.Reader(ctxT(t), 4))
+	if err != nil || string(out) != "ef" {
+		t.Fatalf("got %q err %v", out, err)
+	}
+}
+
+func TestCopyTo(t *testing.T) {
+	data := make([]byte, 100000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b := New(int64(len(data)))
+	go func() {
+		for off := 0; off < len(data); off += 7777 {
+			end := off + 7777
+			if end > len(data) {
+				end = len(data)
+			}
+			b.Append(data[off:end])
+		}
+		b.Seal()
+	}()
+	var out bytes.Buffer
+	if err := b.CopyTo(ctxT(t), &out, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("CopyTo mismatch")
+	}
+}
+
+func TestZeroSizeBuffer(t *testing.T) {
+	b := New(0)
+	b.Seal()
+	if !b.Complete() {
+		t.Fatal("empty buffer not complete")
+	}
+	n, err := b.ReadAt(ctxT(t), make([]byte, 1), 0)
+	if n != 0 || err != io.EOF {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+// Property: any partition of a payload into appends delivers exactly the
+// payload to a concurrent streaming reader.
+func TestConcurrentReaderProperty(t *testing.T) {
+	fn := func(data []byte, cuts []uint8) bool {
+		b := New(int64(len(data)))
+		ctx := context.Background()
+		done := make(chan []byte, 1)
+		go func() {
+			out, err := io.ReadAll(b.Reader(ctx, 0))
+			if err != nil {
+				out = nil
+			}
+			done <- out
+		}()
+		off := 0
+		for _, c := range cuts {
+			if off >= len(data) {
+				break
+			}
+			end := off + int(c)%17 + 1
+			if end > len(data) {
+				end = len(data)
+			}
+			b.Append(data[off:end])
+			off = end
+		}
+		if off < len(data) {
+			b.Append(data[off:])
+		}
+		b.Seal()
+		return bytes.Equal(<-done, data)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyConcurrentReaders(t *testing.T) {
+	data := make([]byte, 64<<10)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	b := New(int64(len(data)))
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for r := 0; r < 16; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := io.ReadAll(b.Reader(context.Background(), 0))
+			if err == nil && !bytes.Equal(out, data) {
+				err = errors.New("mismatch")
+			}
+			errs <- err
+		}()
+	}
+	for off := 0; off < len(data); off += 1000 {
+		end := off + 1000
+		if end > len(data) {
+			end = len(data)
+		}
+		b.Append(data[off:end])
+	}
+	b.Seal()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppend64KB(b *testing.B) {
+	chunk := make([]byte, 64<<10)
+	b.SetBytes(int64(len(chunk)))
+	for i := 0; i < b.N; i++ {
+		buf := New(int64(len(chunk)))
+		buf.Append(chunk)
+		buf.Seal()
+	}
+}

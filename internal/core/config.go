@@ -1,0 +1,97 @@
+// Package core implements Hoplite itself: the per-node object store
+// service that plugs the directory, store, and transport together and runs
+// the paper's receiver-driven broadcast (§3.4.1), dynamic tree reduce
+// (§3.4.2), fine-grained pipelining (§3.3), and fault-tolerant schedule
+// adaptation (§3.5).
+package core
+
+import (
+	"net"
+	"time"
+
+	"hoplite/internal/netem"
+)
+
+// Default tuning constants, matching the paper where it states values.
+const (
+	// DefaultSmallObject is the small-object fast-path threshold: objects
+	// below it live inline in the directory (§3.2, 64 KB).
+	DefaultSmallObject = 64 << 10
+	// DefaultPipelineBlock is the block granularity of in-node copies and
+	// streaming reduce (§5.1.1 reports a 4 MB pipelining block).
+	DefaultPipelineBlock = 4 << 20
+	// DefaultChunkSize is the data-plane wire chunk.
+	DefaultChunkSize = 256 << 10
+)
+
+// Config configures a Node.
+type Config struct {
+	// Fabric supplies listeners and dialers; use netem.TCP for production
+	// and netem.Emulated for testbed emulation. Required.
+	Fabric netem.Fabric
+	// Name is the fabric node name used for shaping and fault injection.
+	// Defaults to the listen address.
+	Name string
+	// Listener, if set, is used instead of opening a new one via the
+	// fabric. Cluster bootstrap pre-creates listeners so every node can
+	// be configured with the full directory shard address list.
+	Listener net.Listener
+	// DirectoryShards lists the control addresses of every directory
+	// shard. Nodes started by a Cluster host one shard each. Required
+	// unless the node hosts the only shard.
+	DirectoryShards []string
+	// HostShard makes this node host a directory shard on its control
+	// plane.
+	HostShard bool
+
+	// SmallObject is the inline fast-path threshold in bytes.
+	// Defaults to DefaultSmallObject. Negative disables the fast path.
+	SmallObject int64
+	// PipelineBlock is the in-node copy and reduce streaming block size.
+	PipelineBlock int
+	// ChunkSize is the data-plane wire chunk size.
+	ChunkSize int
+	// StoreCapacity bounds the local store in bytes; 0 means unlimited.
+	StoreCapacity int64
+
+	// Latency and Bandwidth are the L and B estimates used to choose the
+	// reduce tree degree d (§3.4.2). They default to 200µs and 1.25 GB/s
+	// (the paper's 10 Gbps testbed).
+	Latency   time.Duration
+	Bandwidth float64
+
+	// ReduceDegree forces the reduce tree degree: 0 = choose
+	// automatically among {1, 2, n}; otherwise the given d is used
+	// (n-ary when d >= n). Used by the Figure 15 ablation.
+	ReduceDegree int
+
+	// PingInterval is how often reduce coordinators probe participant
+	// liveness. Defaults to 20 ms.
+	PingInterval time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.SmallObject == 0 {
+		cfg.SmallObject = DefaultSmallObject
+	}
+	if cfg.SmallObject < 0 {
+		cfg.SmallObject = 0
+	}
+	if cfg.PipelineBlock <= 0 {
+		cfg.PipelineBlock = DefaultPipelineBlock
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = DefaultChunkSize
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 200 * time.Microsecond
+	}
+	if cfg.Bandwidth <= 0 {
+		cfg.Bandwidth = 1.25e9
+	}
+	if cfg.PingInterval <= 0 {
+		cfg.PingInterval = 20 * time.Millisecond
+	}
+	return cfg
+}

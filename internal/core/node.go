@@ -1,0 +1,387 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hoplite/internal/buffer"
+	"hoplite/internal/directory"
+	"hoplite/internal/netem"
+	"hoplite/internal/store"
+	"hoplite/internal/transport"
+	"hoplite/internal/types"
+	"hoplite/internal/wire"
+)
+
+// Plane-select magic bytes: a dialer's first byte routes the connection to
+// the control plane (wire RPC: directory shard + reduce control) or the
+// data plane (transport pulls). One listener per node keeps NodeID — the
+// node's address — sufficient to reach both planes.
+const (
+	magicCtrl byte = 0xC1
+	magicData byte = 0xD1
+)
+
+// Node is one Hoplite object-store node: local store, directory client,
+// data-plane server, control server, and optionally one directory shard.
+type Node struct {
+	cfg  Config
+	name string
+	id   types.NodeID
+
+	fab     netem.Fabric
+	ln      net.Listener
+	store   *store.Store
+	dir     *directory.Client
+	shard   *directory.Server
+	dataSrv *transport.Server
+	ctrlSrv *wire.Server
+	dataLn  *chanListener
+	ctrlLn  *chanListener
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu          sync.Mutex
+	pulls       map[types.ObjectID]*pull
+	execs       map[execKey]*reduceExec
+	peers       map[string]*wire.Client
+	storeChange chan struct{}
+	closed      bool
+
+	wg sync.WaitGroup
+}
+
+type execKey struct {
+	reduceID types.ObjectID
+	slot     int
+}
+
+// NewNode creates and starts a node. If cfg.DirectoryShards is empty and
+// cfg.HostShard is set, the node's own address becomes the only shard.
+func NewNode(cfg Config) (*Node, error) {
+	c := cfg.withDefaults()
+	if c.Fabric == nil {
+		return nil, fmt.Errorf("core: Config.Fabric is required")
+	}
+	name := c.Name
+	ln := c.Listener
+	if ln == nil {
+		var err error
+		ln, err = c.Fabric.Listen(nameOrTemp(name))
+		if err != nil {
+			return nil, fmt.Errorf("core: listen: %w", err)
+		}
+	}
+	addr := ln.Addr().String()
+	if name == "" {
+		name = addr
+	}
+	n := &Node{
+		cfg:         c,
+		name:        name,
+		id:          types.NodeID(addr),
+		fab:         c.Fabric,
+		ln:          ln,
+		pulls:       make(map[types.ObjectID]*pull),
+		execs:       make(map[execKey]*reduceExec),
+		peers:       make(map[string]*wire.Client),
+		storeChange: make(chan struct{}),
+	}
+	n.ctx, n.cancel = context.WithCancel(context.Background())
+	n.store = store.New(c.StoreCapacity, n.onEvict)
+
+	shards := c.DirectoryShards
+	if c.HostShard {
+		n.shard = directory.NewServer()
+		if len(shards) == 0 {
+			shards = []string{addr}
+		}
+	}
+	if len(shards) == 0 {
+		ln.Close()
+		return nil, fmt.Errorf("core: no directory shards configured")
+	}
+	n.dir = directory.NewClient(n.id, shards, n.dialCtrl)
+
+	n.dataLn = newChanListener(ln.Addr())
+	n.ctrlLn = newChanListener(ln.Addr())
+	n.dataSrv = transport.NewServer(n.dataLn, n.serveBuffer, c.ChunkSize, n.onSendFailure)
+	n.ctrlSrv = wire.NewServer(n.ctrlLn, n.handleCtrl)
+
+	n.wg.Add(3)
+	go func() { defer n.wg.Done(); n.acceptLoop() }()
+	go func() { defer n.wg.Done(); _ = n.dataSrv.Serve() }()
+	go func() { defer n.wg.Done(); _ = n.ctrlSrv.Serve() }()
+	return n, nil
+}
+
+func nameOrTemp(name string) string {
+	if name == "" {
+		return "node-pending"
+	}
+	return name
+}
+
+// ID returns the node's identity: its listen address.
+func (n *Node) ID() types.NodeID { return n.id }
+
+// Addr returns the node's listen address (same string as ID).
+func (n *Node) Addr() string { return string(n.id) }
+
+// Directory exposes the node's directory client (used by tests and tools).
+func (n *Node) Directory() *directory.Client { return n.dir }
+
+// Store exposes the node's local store (used by tests and tools).
+func (n *Node) Store() *store.Store { return n.store }
+
+func (n *Node) acceptLoop() {
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			n.dataLn.Close()
+			n.ctrlLn.Close()
+			return
+		}
+		go n.routeConn(conn)
+	}
+}
+
+// routeConn reads the plane-select magic byte and hands the connection to
+// the right server.
+func (n *Node) routeConn(conn net.Conn) {
+	var magic [1]byte
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Read(magic[:]); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	switch magic[0] {
+	case magicData:
+		if !n.dataLn.deliver(conn) {
+			conn.Close()
+		}
+	case magicCtrl:
+		if !n.ctrlLn.deliver(conn) {
+			conn.Close()
+		}
+	default:
+		conn.Close()
+	}
+}
+
+func (n *Node) dialPlane(ctx context.Context, addr string, magic byte) (net.Conn, error) {
+	conn, err := n.fab.Dial(ctx, n.name, addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write([]byte{magic}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+func (n *Node) dialCtrl(ctx context.Context, addr string) (net.Conn, error) {
+	return n.dialPlane(ctx, addr, magicCtrl)
+}
+
+func (n *Node) dialData(ctx context.Context, addr string) (net.Conn, error) {
+	return n.dialPlane(ctx, addr, magicData)
+}
+
+// peerCtrl returns a cached control-plane RPC client to a peer node.
+func (n *Node) peerCtrl(ctx context.Context, addr string) (*wire.Client, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, types.ErrClosed
+	}
+	if c, ok := n.peers[addr]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.mu.Unlock()
+	conn, err := n.dialCtrl(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	c := wire.NewClient(conn, nil)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		c.Close()
+		return nil, types.ErrClosed
+	}
+	if existing, ok := n.peers[addr]; ok {
+		n.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	n.peers[addr] = c
+	n.mu.Unlock()
+	return c, nil
+}
+
+// dropPeer discards a (possibly broken) cached peer connection.
+func (n *Node) dropPeer(addr string, c *wire.Client) {
+	n.mu.Lock()
+	if n.peers[addr] == c {
+		delete(n.peers, addr)
+	}
+	n.mu.Unlock()
+	c.Close()
+}
+
+// handleCtrl dispatches control-plane requests: directory methods go to
+// the hosted shard, reduce and eviction methods to the node itself.
+func (n *Node) handleCtrl(ctx context.Context, m wire.Message, p *wire.Peer) wire.Message {
+	switch m.Method {
+	case wire.MethodReduceStart:
+		return n.handleReduceStart(m)
+	case wire.MethodReduceCancel:
+		return n.handleReduceCancel(m)
+	case wire.MethodEvictLocal:
+		n.store.Delete(m.OID)
+		return wire.Message{}
+	case wire.MethodPing:
+		return wire.Message{Method: wire.MethodPing}
+	default:
+		if n.shard != nil {
+			return n.shard.Handler()(ctx, m, p)
+		}
+		var resp wire.Message
+		resp.Err = "core: node hosts no directory shard"
+		return resp
+	}
+}
+
+// onSendFailure clears a dead receiver's directory lease after the data
+// plane saw its socket break (§5.5).
+func (n *Node) onSendFailure(oid types.ObjectID, receiver types.NodeID) {
+	ctx, cancel := context.WithTimeout(n.ctx, 5*time.Second)
+	defer cancel()
+	_ = n.dir.AbortDownstream(ctx, oid, receiver)
+}
+
+// onEvict removes the evicted copy's directory location (best effort).
+func (n *Node) onEvict(oid types.ObjectID) {
+	ctx, cancel := context.WithTimeout(n.ctx, 5*time.Second)
+	defer cancel()
+	_ = n.dir.RemoveLocation(ctx, oid)
+}
+
+// signalStoreChange wakes serveBuffer waiters after a store insert.
+func (n *Node) signalStoreChange() {
+	n.mu.Lock()
+	close(n.storeChange)
+	n.storeChange = make(chan struct{})
+	n.mu.Unlock()
+}
+
+// serveBuffer resolves pull requests against the local store. A freshly
+// leased receiver may be asked for the object a moment before its local
+// buffer exists (its Acquire response is still in flight), so absence
+// waits briefly for creation.
+func (n *Node) serveBuffer(ctx context.Context, oid types.ObjectID) (*buffer.Buffer, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if buf, ok := n.store.Get(oid); ok {
+			return buf, nil
+		}
+		n.mu.Lock()
+		ch := n.storeChange
+		n.mu.Unlock()
+		if time.Now().After(deadline) {
+			return nil, types.ErrNotFound
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Until(deadline)):
+			return nil, types.ErrNotFound
+		}
+	}
+}
+
+// Close shuts the node down: all servers, connections and buffers are
+// released. In-flight operations fail with ErrClosed.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	peers := make([]*wire.Client, 0, len(n.peers))
+	for _, c := range n.peers {
+		peers = append(peers, c)
+	}
+	n.peers = make(map[string]*wire.Client)
+	execs := make([]*reduceExec, 0, len(n.execs))
+	for _, e := range n.execs {
+		execs = append(execs, e)
+	}
+	n.execs = make(map[execKey]*reduceExec)
+	n.mu.Unlock()
+
+	n.cancel()
+	for _, e := range execs {
+		e.cancel()
+	}
+	n.ln.Close()
+	n.ctrlSrv.Close()
+	n.dataSrv.Close()
+	for _, c := range peers {
+		c.Close()
+	}
+	n.dir.Close()
+	n.store.Close()
+	n.wg.Wait()
+	return nil
+}
+
+// chanListener adapts the connection mux to net.Listener.
+type chanListener struct {
+	addr net.Addr
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+}
+
+func newChanListener(addr net.Addr) *chanListener {
+	return &chanListener{addr: addr, ch: make(chan net.Conn), done: make(chan struct{})}
+}
+
+func (l *chanListener) deliver(c net.Conn) bool {
+	select {
+	case l.ch <- c:
+		return true
+	case <-l.done:
+		return false
+	}
+}
+
+// Accept implements net.Listener.
+func (l *chanListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, types.ErrClosed
+	}
+}
+
+// Close implements net.Listener.
+func (l *chanListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *chanListener) Addr() net.Addr { return l.addr }

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"hoplite/internal/buffer"
+	"hoplite/internal/transport"
+	"hoplite/internal/types"
+	"hoplite/internal/wire"
+)
+
+// pull tracks one in-flight inbound transfer so concurrent Gets of the
+// same object share it ("if there is an on-going request for the object
+// locally, the receiver just waits until it gets the completed object",
+// §3.4.1).
+type pull struct {
+	ready chan struct{} // closed once buf is set (or err)
+	buf   *buffer.Buffer
+	err   error
+}
+
+// Put stores an immutable object (Table 1). Objects below the small-object
+// threshold go inline into the directory (§3.2); larger objects are copied
+// into the local store in pipeline blocks, with the partial location
+// registered up front so remote receivers can start fetching while the
+// copy is still running (§3.3). The object is pinned locally until Delete.
+func (n *Node) Put(ctx context.Context, oid types.ObjectID, data []byte) error {
+	if int64(len(data)) < n.cfg.SmallObject {
+		return n.dir.PutInline(ctx, oid, data)
+	}
+	buf, err := n.store.Create(oid, int64(len(data)), true)
+	if err != nil {
+		if errors.Is(err, types.ErrExists) {
+			// Idempotent re-put (e.g. a restarted task re-producing its
+			// output): re-register the existing complete copy.
+			if existing, ok := n.store.Get(oid); ok && existing.Complete() {
+				if err := n.dir.PutStarted(ctx, oid, existing.Size()); err != nil {
+					return err
+				}
+				return n.dir.PutComplete(ctx, oid)
+			}
+		}
+		return err
+	}
+	n.signalStoreChange()
+	if err := n.dir.PutStarted(ctx, oid, int64(len(data))); err != nil {
+		n.store.Delete(oid)
+		return err
+	}
+	// Worker→store copy, block by block; network sends overlap with it.
+	block := n.cfg.PipelineBlock
+	for off := 0; off < len(data); off += block {
+		end := off + block
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := buf.Append(data[off:end]); err != nil {
+			return err
+		}
+	}
+	buf.Seal()
+	return n.dir.PutComplete(ctx, oid)
+}
+
+// deleteGrace is how long Get-style operations keep retrying after
+// observing ErrDeleted. An object can be transiently deleted and
+// re-created during reduce failure recovery (a failed root slot's target
+// output is invalidated and re-produced by the replacement, §3.5.2);
+// receivers ride through the window instead of surfacing a spurious error.
+const deleteGrace = 1500 * time.Millisecond
+
+// getBuffer returns a complete local buffer for oid, retrying across
+// transient deletions.
+func (n *Node) getBuffer(ctx context.Context, oid types.ObjectID) (*buffer.Buffer, error) {
+	deadline := time.Now().Add(deleteGrace)
+	for {
+		buf, err := n.ensureLocal(ctx, oid)
+		if err == nil {
+			err = buf.WaitComplete(ctx)
+			if err == nil {
+				return buf, nil
+			}
+		}
+		if !errors.Is(err, types.ErrDeleted) && !errors.Is(err, types.ErrAborted) {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Get returns a private copy of the object, blocking until it is
+// available. The copy out of the store is pipelined with the inbound
+// transfer (§3.3). Small objects come straight from the directory cache.
+func (n *Node) Get(ctx context.Context, oid types.ObjectID) ([]byte, error) {
+	deadline := time.Now().Add(deleteGrace)
+	for {
+		out, err := n.getOnce(ctx, oid)
+		if err == nil {
+			return out, nil
+		}
+		if !errors.Is(err, types.ErrDeleted) && !errors.Is(err, types.ErrAborted) {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func (n *Node) getOnce(ctx context.Context, oid types.ObjectID) ([]byte, error) {
+	buf, err := n.ensureLocal(ctx, oid)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, buf.Size())
+	var off int64
+	for off < buf.Size() {
+		wm, _, err := buf.WaitAt(ctx, off)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[off:wm], buf.Bytes()[off:wm])
+		off = wm
+	}
+	return out, nil
+}
+
+// GetImmutable returns a read-only view of the object without the final
+// store→worker copy ("optimization for immutable get", §3.3). The caller
+// must not modify the returned slice.
+func (n *Node) GetImmutable(ctx context.Context, oid types.ObjectID) ([]byte, error) {
+	buf, err := n.getBuffer(ctx, oid)
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WaitLocal blocks until the object is fully present in the local store
+// (fetching it if necessary) without copying it out.
+func (n *Node) WaitLocal(ctx context.Context, oid types.ObjectID) error {
+	_, err := n.getBuffer(ctx, oid)
+	return err
+}
+
+// Delete removes every copy of the object cluster-wide (Table 1). The
+// directory entry is tombstoned and each holding node evicts its copy.
+func (n *Node) Delete(ctx context.Context, oid types.ObjectID) error {
+	locs, err := n.dir.Delete(ctx, oid)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, loc := range locs {
+		if loc.Node == n.id {
+			n.store.Delete(oid)
+			continue
+		}
+		c, err := n.peerCtrl(ctx, string(loc.Node))
+		if err != nil {
+			if firstErr == nil && !errors.Is(err, types.ErrNodeDown) {
+				firstErr = err
+			}
+			continue
+		}
+		if _, err := c.Call(ctx, wire.Message{Method: wire.MethodEvictLocal, OID: oid}); err != nil {
+			n.dropPeer(string(loc.Node), c)
+		}
+	}
+	n.store.Delete(oid) // cover copies created after the directory snapshot
+	return firstErr
+}
+
+// ensureLocal returns a local buffer for oid, starting (or joining) a
+// receiver-driven pull when the object is remote. The returned buffer may
+// still be filling; callers stream via WaitAt/WaitComplete.
+func (n *Node) ensureLocal(ctx context.Context, oid types.ObjectID) (*buffer.Buffer, error) {
+	for {
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return nil, types.ErrClosed
+		}
+		if buf, ok := n.store.Get(oid); ok {
+			n.mu.Unlock()
+			return buf, nil
+		}
+		if p, ok := n.pulls[oid]; ok {
+			n.mu.Unlock()
+			select {
+			case <-p.ready:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if p.err != nil {
+				return nil, p.err
+			}
+			return p.buf, nil
+		}
+		p := &pull{ready: make(chan struct{})}
+		n.pulls[oid] = p
+		n.mu.Unlock()
+		buf, err := n.startPull(ctx, oid, p)
+		if err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+}
+
+// startPull performs the first sender acquisition for a registered pull
+// and launches the transfer loop.
+func (n *Node) startPull(ctx context.Context, oid types.ObjectID, p *pull) (*buffer.Buffer, error) {
+	fail := func(err error) (*buffer.Buffer, error) {
+		p.err = err
+		n.mu.Lock()
+		if n.pulls[oid] == p {
+			delete(n.pulls, oid)
+		}
+		n.mu.Unlock()
+		close(p.ready)
+		return nil, err
+	}
+	lease, err := n.dir.AcquireSender(ctx, oid, true)
+	if err != nil {
+		return fail(err)
+	}
+	if lease.Inline != nil {
+		// Small-object fast path: the payload came with the reply.
+		buf, err := n.store.InsertSealed(oid, lease.Inline, false)
+		if err != nil && !errors.Is(err, types.ErrExists) {
+			return fail(err)
+		}
+		n.signalStoreChange()
+		p.buf = buf
+		n.mu.Lock()
+		delete(n.pulls, oid)
+		n.mu.Unlock()
+		close(p.ready)
+		return buf, nil
+	}
+	if lease.Size < 0 {
+		_ = n.dir.AbortTransfer(ctx, oid, lease.Sender, false)
+		return fail(fmt.Errorf("core: object %v has unknown size", oid))
+	}
+	buf, err := n.store.Create(oid, lease.Size, false)
+	if err != nil {
+		_ = n.dir.AbortTransfer(ctx, oid, lease.Sender, false)
+		return fail(err)
+	}
+	n.signalStoreChange()
+	p.buf = buf
+	close(p.ready)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.runPull(oid, p, buf, lease.Sender, lease.Gen)
+	}()
+	return buf, nil
+}
+
+// runPull executes the transfer loop with sender failover: on a broken
+// sender it drops the dead location, re-acquires, and resumes from the
+// current watermark (§3.5.1); when the object was re-created under a new
+// generation, the stale prefix is discarded instead.
+func (n *Node) runPull(oid types.ObjectID, p *pull, buf *buffer.Buffer, sender types.NodeID, gen int64) {
+	ctx := n.ctx // pulls outlive the requesting call, like a real store
+	finish := func() {
+		n.mu.Lock()
+		if n.pulls[oid] == p {
+			delete(n.pulls, oid)
+		}
+		n.mu.Unlock()
+	}
+	defer finish()
+	for {
+		addr := string(sender)
+		dial := func(c context.Context) (net.Conn, error) { return n.dialData(c, addr) }
+		err := transport.Pull(ctx, dial, n.id, oid, buf.Watermark(), buf)
+		if err == nil {
+			rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			_ = n.dir.ReleaseSender(rctx, oid, sender, true)
+			cancel()
+			return
+		}
+		if ctx.Err() != nil {
+			buf.Fail(types.ErrClosed)
+			return
+		}
+		if errors.Is(err, types.ErrDeleted) {
+			n.store.Delete(oid) // fails buf with ErrDeleted
+			rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			_ = n.dir.AbortTransfer(rctx, oid, sender, false)
+			cancel()
+			return
+		}
+		// Sender failed (socket liveness, §5.5): drop its location and
+		// find another sender, resuming from our watermark.
+		rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		_ = n.dir.AbortTransfer(rctx, oid, sender, true)
+		cancel()
+		lease, err := n.dir.AcquireSender(ctx, oid, true)
+		if err != nil {
+			buf.Fail(err)
+			n.store.Delete(oid)
+			return
+		}
+		if lease.Inline != nil {
+			// The object reappeared as an inline small object.
+			buf.Fail(types.ErrAborted)
+			n.store.Delete(oid)
+			return
+		}
+		if lease.Gen != gen || lease.Size != buf.Size() {
+			if lease.Size != buf.Size() {
+				// Recreated with a different size: replace the buffer.
+				n.store.Delete(oid)
+				nb, cerr := n.store.Create(oid, lease.Size, false)
+				if cerr != nil {
+					buf.Fail(cerr)
+					return
+				}
+				n.signalStoreChange()
+				buf = nb
+				n.mu.Lock()
+				p.buf = nb
+				n.mu.Unlock()
+			} else {
+				buf.Reset(0)
+			}
+			gen = lease.Gen
+		}
+		sender = lease.Sender
+	}
+}

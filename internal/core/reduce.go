@@ -1,0 +1,694 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"time"
+
+	"hoplite/internal/buffer"
+	"hoplite/internal/directory"
+	"hoplite/internal/types"
+	"hoplite/internal/wire"
+)
+
+// reduceSpec tells a participant node to run one slot of a reduce tree
+// (§3.4.2). The slot's intermediate output is an ordinary directory object
+// named (ReduceID, Slot, Epoch), which its parent pulls through the normal
+// data plane — this is what lets reduce outputs stream into downstream
+// broadcasts and chained reduces while still partial (§3.3).
+type reduceSpec struct {
+	ReduceID types.ObjectID // the reduce's target ObjectID doubles as its ID
+	Slot     int
+	Epoch    int64
+	OwnOID   types.ObjectID // the source object this slot folds in
+	// OutputOID names this slot's output: the true target for the root,
+	// an ephemeral coordinator-chosen object otherwise. The coordinator
+	// pins ephemeral IDs onto the target's directory shard so that a
+	// participant's death never takes reduce metadata down with it.
+	OutputOID types.ObjectID
+	Children  []childRef
+	IsRoot    bool
+	Size      int64
+	Op        types.ReduceOp
+}
+
+type childRef struct {
+	Slot int
+	OID  types.ObjectID // the child slot's current OutputOID
+}
+
+// pinToShard derives an ObjectID for (slot, epoch) that lands on the same
+// directory shard as the base (target) object.
+func pinToShard(base types.ObjectID, slot int, epoch int64, shards int) types.ObjectID {
+	want := base.Shard(shards)
+	for nonce := int64(0); ; nonce++ {
+		oid := base.Derive("reduce-slot", int64(slot)<<20|nonce, epoch)
+		if oid.Shard(shards) == want {
+			return oid
+		}
+	}
+}
+
+func encodeSpec(s *reduceSpec) ([]byte, error) {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(s); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+func decodeSpec(p []byte) (*reduceSpec, error) {
+	var s reduceSpec
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// reduceExec is one running slot executor on a participant node.
+type reduceExec struct {
+	spec   *reduceSpec
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// handleReduceStart starts (or, on an epoch bump, replaces) a slot
+// executor. Replacement is how ancestors of a failed slot "clear the
+// reduced object" and restart (§3.5.2, Figure 5b).
+func (n *Node) handleReduceStart(m wire.Message) wire.Message {
+	var resp wire.Message
+	spec, err := decodeSpec(m.Payload)
+	if err != nil {
+		resp.SetError(fmt.Errorf("core: bad reduce spec: %w", err))
+		return resp
+	}
+	key := execKey{reduceID: spec.ReduceID, slot: spec.Slot}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		resp.SetError(types.ErrClosed)
+		return resp
+	}
+	old := n.execs[key]
+	if old != nil && old.spec.Epoch >= spec.Epoch {
+		n.mu.Unlock()
+		return resp // stale or duplicate start
+	}
+	ctx, cancel := context.WithCancel(n.ctx)
+	e := &reduceExec{spec: spec, ctx: ctx, cancel: cancel, done: make(chan struct{})}
+	n.execs[key] = e
+	n.mu.Unlock()
+	if old != nil {
+		old.cancel()
+		// Drop the superseded epoch's local output so readers abort.
+		n.store.Delete(old.spec.OutputOID)
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer close(e.done)
+		n.runReduceSlot(e)
+	}()
+	return resp
+}
+
+// handleReduceCancel tears down every executor of a reduce, deleting
+// intermediate outputs (the root's target object is kept: it belongs to
+// the application until Delete).
+func (n *Node) handleReduceCancel(m wire.Message) wire.Message {
+	n.mu.Lock()
+	var victims []*reduceExec
+	for key, e := range n.execs {
+		if key.reduceID == m.Target {
+			victims = append(victims, e)
+			delete(n.execs, key)
+		}
+	}
+	n.mu.Unlock()
+	for _, e := range victims {
+		e.cancel()
+		if !e.spec.IsRoot {
+			n.store.Delete(e.spec.OutputOID)
+		}
+	}
+	return wire.Message{}
+}
+
+// runReduceSlot streams this slot's reduction: for each pipeline block it
+// copies its own object's block and folds in each child subtree's reduced
+// block, appending the result to the slot output as soon as the block is
+// complete — so blocks flow up the tree while later blocks are still in
+// flight (fine-grained pipelining, §3.3).
+func (n *Node) runReduceSlot(e *reduceExec) {
+	spec := e.spec
+	ctx := e.ctx
+	outOID := spec.OutputOID
+
+	out, err := n.store.Create(outOID, spec.Size, true)
+	if errors.Is(err, types.ErrExists) {
+		// Residue from a canceled epoch; replace it.
+		n.store.Delete(outOID)
+		out, err = n.store.Create(outOID, spec.Size, true)
+	}
+	if err != nil {
+		return
+	}
+	n.signalStoreChange()
+	fail := func(err error) {
+		out.Fail(err)
+	}
+	if err := n.dir.PutStarted(ctx, outOID, spec.Size); err != nil {
+		fail(err)
+		return
+	}
+
+	// Own object: the coordinator placed this slot on a node already
+	// holding it, so this is normally a store lookup; after an eviction
+	// it becomes a remote fetch.
+	own, err := n.ensureLocal(ctx, spec.OwnOID)
+	if err != nil {
+		fail(err)
+		return
+	}
+	// Children outputs: fetched through the ordinary receiver-driven data
+	// plane; each blocks until the child slot is assigned and starts
+	// producing. Fetches run concurrently.
+	type childSlot struct {
+		buf *buffer.Buffer
+		err error
+	}
+	childCh := make([]chan childSlot, len(spec.Children))
+	for i, c := range spec.Children {
+		childCh[i] = make(chan childSlot, 1)
+		go func(i int, c childRef) {
+			buf, err := n.ensureLocal(ctx, c.OID)
+			childCh[i] <- childSlot{buf, err}
+		}(i, c)
+	}
+	children := make([]*buffer.Buffer, len(spec.Children))
+
+	block := int64(n.cfg.PipelineBlock)
+	if es := int64(spec.Op.DType.Size()); es > 0 {
+		block -= block % es
+	}
+	scratch := make([]byte, block)
+	waitRange := func(b *buffer.Buffer, end int64) error {
+		wm, _, err := b.WaitAt(ctx, end-1)
+		if err != nil {
+			return err
+		}
+		if wm < end {
+			return fmt.Errorf("core: reduce input short: %d < %d", wm, end)
+		}
+		return nil
+	}
+	for off := int64(0); off < spec.Size; off += block {
+		end := off + block
+		if end > spec.Size {
+			end = spec.Size
+		}
+		if err := waitRange(own, end); err != nil {
+			fail(err)
+			return
+		}
+		blk := scratch[:end-off]
+		copy(blk, own.Bytes()[off:end])
+		for i := range spec.Children {
+			if children[i] == nil {
+				select {
+				case cs := <-childCh[i]:
+					if cs.err != nil {
+						fail(cs.err)
+						return
+					}
+					children[i] = cs.buf
+				case <-ctx.Done():
+					fail(ctx.Err())
+					return
+				}
+			}
+			if err := waitRange(children[i], end); err != nil {
+				fail(err)
+				return
+			}
+			if err := spec.Op.Accumulate(blk, children[i].Bytes()[off:end]); err != nil {
+				fail(err)
+				return
+			}
+		}
+		if err := out.Append(blk); err != nil {
+			return
+		}
+	}
+	out.Seal()
+	cctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
+	defer cancel()
+	_ = n.dir.PutComplete(cctx, outOID)
+}
+
+// assignment tracks which source object fills a tree slot and where.
+type assignment struct {
+	src  types.ObjectID
+	host types.NodeID
+}
+
+// Reduce creates target = op-fold over num of the given source objects
+// (Table 1). Sources join the reduce tree in the order they become
+// available; if num < len(sources), only the earliest num participate,
+// and the used sources are returned in slot order. Reduce tolerates up to
+// len(sources)-num source/task failures; beyond that it blocks until
+// failed tasks are re-executed and their objects reappear (§3.5.2).
+func (n *Node) Reduce(ctx context.Context, target types.ObjectID, sources []types.ObjectID, num int, op types.ReduceOp) ([]types.ObjectID, error) {
+	if err := op.Validate(); err != nil {
+		return nil, err
+	}
+	if num <= 0 || num > len(sources) {
+		return nil, fmt.Errorf("core: reduce num %d out of range [1,%d]", num, len(sources))
+	}
+	if target.IsZero() {
+		return nil, fmt.Errorf("core: reduce target is the zero ObjectID")
+	}
+
+	updates := make(chan directory.Update, 4096)
+	push := func(u directory.Update) {
+		select {
+		case updates <- u:
+		default: // coordinator re-reads state; dropping is safe
+		}
+	}
+	seen := make(map[types.ObjectID]bool)
+	for _, src := range sources {
+		if seen[src] {
+			return nil, fmt.Errorf("core: duplicate source %v", src)
+		}
+		seen[src] = true
+		rec, err := n.dir.Subscribe(ctx, src, push)
+		if err != nil && !errors.Is(err, types.ErrDeleted) {
+			return nil, err
+		}
+		push(directory.Update{OID: src, Size: rec.Size, Locs: rec.Locs, Inline: rec.Inline})
+	}
+	defer func() {
+		uctx, cancel := context.WithTimeout(n.ctx, 5*time.Second)
+		defer cancel()
+		for _, src := range sources {
+			_ = n.dir.Unsubscribe(uctx, src)
+		}
+		_ = n.dir.Unsubscribe(uctx, target)
+	}()
+
+	// Wait for the first available source to learn the object size, which
+	// fixes the tree degree.
+	var size int64 = types.SizeUnknown
+	srcLocs := make(map[types.ObjectID][]types.Location)
+	srcInline := make(map[types.ObjectID][]byte)
+	var readyOrder []types.ObjectID
+	inQueue := make(map[types.ObjectID]bool)
+	absorb := func(u directory.Update) {
+		if !seen[u.OID] {
+			return
+		}
+		if u.Deleted {
+			delete(srcLocs, u.OID)
+			delete(srcInline, u.OID)
+			return
+		}
+		if u.Inline != nil {
+			srcInline[u.OID] = u.Inline
+			if size < 0 {
+				size = int64(len(u.Inline))
+			}
+			if !inQueue[u.OID] {
+				inQueue[u.OID] = true
+				readyOrder = append(readyOrder, u.OID)
+			}
+			return
+		}
+		srcLocs[u.OID] = u.Locs
+		if len(u.Locs) > 0 {
+			if size < 0 && u.Size >= 0 {
+				size = u.Size
+			}
+			if !inQueue[u.OID] {
+				inQueue[u.OID] = true
+				readyOrder = append(readyOrder, u.OID)
+			}
+		}
+	}
+	for size < 0 {
+		select {
+		case u := <-updates:
+			absorb(u)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	// Small objects live inline in the directory; there is no collective
+	// transfer to schedule — the coordinator folds them locally (§3.2).
+	if size < n.cfg.SmallObject {
+		return n.reduceSmall(ctx, target, sources, num, op, size, updates, absorb, srcInline, &readyOrder)
+	}
+	return n.reduceTree(ctx, target, num, op, size, updates, absorb, srcLocs, &readyOrder, inQueue)
+}
+
+// reduceSmall gathers the first num small source payloads at the
+// coordinator and publishes the folded result.
+func (n *Node) reduceSmall(ctx context.Context, target types.ObjectID, sources []types.ObjectID, num int, op types.ReduceOp, size int64, updates chan directory.Update, absorb func(directory.Update), inline map[types.ObjectID][]byte, readyOrder *[]types.ObjectID) ([]types.ObjectID, error) {
+	var used []types.ObjectID
+	acc := make([]byte, size)
+	next := 0
+	for len(used) < num {
+		for next < len(*readyOrder) && len(used) < num {
+			src := (*readyOrder)[next]
+			next++
+			payload := inline[src]
+			if payload == nil {
+				// Stored (not inline) small object: fetch it.
+				var err error
+				payload, err = n.Get(ctx, src)
+				if err != nil {
+					continue
+				}
+			}
+			if int64(len(payload)) != size {
+				return nil, fmt.Errorf("core: source %v size %d != %d", src, len(payload), size)
+			}
+			if len(used) == 0 {
+				copy(acc, payload)
+			} else if err := op.Accumulate(acc, payload); err != nil {
+				return nil, err
+			}
+			used = append(used, src)
+		}
+		if len(used) >= num {
+			break
+		}
+		select {
+		case u := <-updates:
+			absorb(u)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if err := n.Put(ctx, target, acc); err != nil && !errors.Is(err, types.ErrExists) {
+		return nil, err
+	}
+	return used, nil
+}
+
+// reduceTree runs the dynamic d-ary tree reduce: slots fill with sources
+// in arrival order (generalized in-order traversal), specs stream to
+// participant hosts, liveness is probed, and failures trigger slot
+// replacement plus epoch-bumped restarts of the ancestors (§3.5.2).
+func (n *Node) reduceTree(ctx context.Context, target types.ObjectID, num int, op types.ReduceOp, size int64, updates chan directory.Update, absorb func(directory.Update), srcLocs map[types.ObjectID][]types.Location, readyOrder *[]types.ObjectID, inQueue map[types.ObjectID]bool) ([]types.ObjectID, error) {
+	d := n.cfg.ReduceDegree
+	if d <= 0 {
+		d = chooseDegree(num, n.cfg.Latency, n.cfg.Bandwidth, size)
+	}
+	if d > num {
+		d = num
+	}
+	parent, children := treeShape(num, d)
+	root := treeRoot(parent)
+
+	epoch := make([]int64, num)
+	outOID := make([]types.ObjectID, num)
+	shards := n.dir.NumShards()
+	for i := range epoch {
+		epoch[i] = 1
+		if i == root {
+			outOID[i] = target
+		} else {
+			outOID[i] = pinToShard(target, i, epoch[i], shards)
+		}
+	}
+	assigned := make([]*assignment, num)
+	assignedSrc := make(map[types.ObjectID]int) // src -> slot
+	nextReady := 0
+	// freeSlot returns the lowest unfilled slot: initially slots fill in
+	// arrival order (in-order traversal positions); after a failure the
+	// vacated slot is refilled by the next ready source ("replaced by the
+	// next ready source object", §3.5.2).
+	freeSlot := func() int {
+		for i, a := range assigned {
+			if a == nil {
+				return i
+			}
+		}
+		return -1
+	}
+
+	targetDone := make(chan struct{}, 1)
+	trec, err := n.dir.Subscribe(ctx, target, func(u directory.Update) {
+		for _, l := range u.Locs {
+			if l.Progress == types.ProgressComplete {
+				select {
+				case targetDone <- struct{}{}:
+				default:
+				}
+			}
+		}
+	})
+	if err != nil && !errors.Is(err, types.ErrDeleted) {
+		return nil, err
+	}
+	for _, l := range trec.Locs {
+		if l.Progress == types.ProgressComplete {
+			targetDone <- struct{}{}
+			break
+		}
+	}
+
+	pickHost := func(locs []types.Location) (types.NodeID, bool) {
+		var partial types.NodeID
+		var ok bool
+		for _, l := range locs {
+			if l.Progress == types.ProgressComplete {
+				return l.Node, true
+			}
+			if !ok {
+				partial, ok = l.Node, true
+			}
+		}
+		return partial, ok
+	}
+
+	buildSpec := func(slot int) *reduceSpec {
+		refs := make([]childRef, 0, len(children[slot]))
+		for _, c := range children[slot] {
+			refs = append(refs, childRef{Slot: c, OID: outOID[c]})
+		}
+		return &reduceSpec{
+			ReduceID:  target,
+			Slot:      slot,
+			Epoch:     epoch[slot],
+			OwnOID:    assigned[slot].src,
+			OutputOID: outOID[slot],
+			Children:  refs,
+			IsRoot:    slot == root,
+			Size:      size,
+			Op:        op,
+		}
+	}
+
+	var failHost func(host types.NodeID)
+
+	sendSpec := func(slot int) {
+		spec := buildSpec(slot)
+		payload, err := encodeSpec(spec)
+		if err != nil {
+			return
+		}
+		host := assigned[slot].host
+		c, err := n.peerCtrl(ctx, string(host))
+		if err != nil {
+			failHost(host)
+			return
+		}
+		cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		resp, err := c.Call(cctx, wire.Message{Method: wire.MethodReduceStart, Payload: payload})
+		cancel()
+		if err == nil {
+			err = resp.ErrorOf()
+		}
+		if err != nil {
+			n.dropPeer(string(host), c)
+			failHost(host)
+		}
+	}
+
+	// tryAssign fills open slots with ready sources in arrival order.
+	tryAssign := func() {
+		for {
+			slot := freeSlot()
+			if slot < 0 {
+				return
+			}
+			// Find the next ready, unassigned source with a live host.
+			var src types.ObjectID
+			var host types.NodeID
+			found := false
+			for nextReady < len(*readyOrder) {
+				cand := (*readyOrder)[nextReady]
+				nextReady++
+				if _, dup := assignedSrc[cand]; dup {
+					continue
+				}
+				if h, ok := pickHost(srcLocs[cand]); ok {
+					src, host, found = cand, h, true
+					break
+				}
+				inQueue[cand] = false // became unavailable; may re-arrive
+			}
+			if !found {
+				return
+			}
+			assigned[slot] = &assignment{src: src, host: host}
+			assignedSrc[src] = slot
+			sendSpec(slot)
+		}
+	}
+
+	failHost = func(host types.NodeID) {
+		pctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
+		_ = n.dir.PurgeNode(pctx, host)
+		cancel()
+		// Drop the dead host from our cached locations right away: the
+		// purge notification will confirm, but assignment must not route
+		// to it in the meantime.
+		for src, locs := range srcLocs {
+			kept := locs[:0]
+			for _, l := range locs {
+				if l.Node != host {
+					kept = append(kept, l)
+				}
+			}
+			srcLocs[src] = kept
+		}
+		// Collect this host's slots, lowest (deepest in-order) first.
+		var failedSlots []int
+		for slot, a := range assigned {
+			if a != nil && a.host == host {
+				failedSlots = append(failedSlots, slot)
+			}
+		}
+		if len(failedSlots) == 0 {
+			return
+		}
+		restart := make(map[int]bool)
+		for _, slot := range failedSlots {
+			a := assigned[slot]
+			delete(assignedSrc, a.src)
+			assigned[slot] = nil
+			inQueue[a.src] = false // re-queue only if it re-arrives with a live location
+			// The source may survive on another node (an extra copy);
+			// requeue it directly in that case.
+			if _, ok := pickHost(srcLocs[a.src]); ok {
+				inQueue[a.src] = true
+				*readyOrder = append(*readyOrder, a.src)
+			}
+			// The failed slot and all ancestors clear their outputs and
+			// restart at a new epoch (Figure 5b).
+			for s := slot; s != -1; s = parent[s] {
+				restart[s] = true
+			}
+		}
+		// Delete superseded outputs (waking any reader blocked on them),
+		// bump epochs and reissue output IDs, then resend specs to live
+		// hosts.
+		dctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
+		for s := range restart {
+			_ = n.Delete(dctx, outOID[s])
+		}
+		cancel()
+		for s := range restart {
+			epoch[s]++
+			if s == root {
+				outOID[s] = target
+			} else {
+				outOID[s] = pinToShard(target, s, epoch[s], shards)
+			}
+		}
+		for s := range restart {
+			if assigned[s] != nil {
+				sendSpec(s)
+			}
+		}
+		tryAssign()
+	}
+
+	tryAssign()
+
+	// Event loop: absorb arrivals, probe participant liveness, finish
+	// when the target object is complete.
+	ping := time.NewTicker(n.cfg.PingInterval)
+	defer ping.Stop()
+	for {
+		select {
+		case u := <-updates:
+			absorb(u)
+			tryAssign()
+		case <-ping.C:
+			hosts := make(map[types.NodeID]bool)
+			for _, a := range assigned {
+				if a != nil {
+					hosts[a.host] = true
+				}
+			}
+			for host := range hosts {
+				if host == n.id {
+					continue
+				}
+				c, err := n.peerCtrl(ctx, string(host))
+				if err != nil {
+					failHost(host)
+					continue
+				}
+				cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				_, err = c.Call(cctx, wire.Message{Method: wire.MethodPing})
+				cancel()
+				if err != nil {
+					n.dropPeer(string(host), c)
+					failHost(host)
+				}
+			}
+		case <-targetDone:
+			used := make([]types.ObjectID, 0, num)
+			for _, a := range assigned {
+				if a != nil {
+					used = append(used, a.src)
+				}
+			}
+			n.cleanupReduce(target, assigned)
+			return used, nil
+		case <-ctx.Done():
+			n.cleanupReduce(target, assigned)
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// cleanupReduce tells every participant to tear down its executors and
+// drop intermediate outputs.
+func (n *Node) cleanupReduce(target types.ObjectID, assigned []*assignment) {
+	hosts := make(map[types.NodeID]bool)
+	for _, a := range assigned {
+		if a != nil {
+			hosts[a.host] = true
+		}
+	}
+	ctx, cancel := context.WithTimeout(n.ctx, 5*time.Second)
+	defer cancel()
+	for host := range hosts {
+		c, err := n.peerCtrl(ctx, string(host))
+		if err != nil {
+			continue
+		}
+		_, _ = c.Call(ctx, wire.Message{Method: wire.MethodReduceCancel, Target: target})
+	}
+}

@@ -1,0 +1,294 @@
+package directory
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"hoplite/internal/types"
+	"hoplite/internal/wire"
+)
+
+// Update is a push notification about an object's directory record,
+// delivered to Subscribe callbacks (the paper's asynchronous location
+// query, §3.2).
+type Update struct {
+	OID     types.ObjectID
+	Size    int64
+	Locs    []types.Location
+	Inline  []byte
+	Deleted bool
+}
+
+// Dialer connects to a directory shard address.
+type Dialer func(ctx context.Context, addr string) (net.Conn, error)
+
+// Client talks to every shard of the directory on behalf of one node.
+// It is safe for concurrent use.
+type Client struct {
+	self   types.NodeID
+	shards []string
+	dial   Dialer
+
+	mu     sync.Mutex
+	conns  map[string]*wire.Client
+	closed bool
+
+	subMu sync.Mutex
+	subs  map[types.ObjectID][]func(Update)
+}
+
+// NewClient creates a directory client for a node. shards lists every
+// shard server address; an object's shard is oid.Shard(len(shards)).
+func NewClient(self types.NodeID, shards []string, dial Dialer) *Client {
+	return &Client{
+		self:   self,
+		shards: shards,
+		dial:   dial,
+		conns:  make(map[string]*wire.Client),
+		subs:   make(map[types.ObjectID][]func(Update)),
+	}
+}
+
+// NumShards returns the number of directory shards.
+func (c *Client) NumShards() int { return len(c.shards) }
+
+// Self returns the node this client acts for.
+func (c *Client) Self() types.NodeID { return c.self }
+
+func (c *Client) conn(ctx context.Context, oid types.ObjectID) (*wire.Client, error) {
+	addr := c.shards[oid.Shard(len(c.shards))]
+	return c.connTo(ctx, addr)
+}
+
+func (c *Client) connTo(ctx context.Context, addr string) (*wire.Client, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, types.ErrClosed
+	}
+	if wc, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
+		return wc, nil
+	}
+	c.mu.Unlock()
+
+	nc, err := c.dial(ctx, addr)
+	if err != nil {
+		return nil, fmt.Errorf("directory: dial shard %s: %w", addr, err)
+	}
+	wc := wire.NewClient(nc, c.onNotify)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		wc.Close()
+		return nil, types.ErrClosed
+	}
+	if existing, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
+		wc.Close()
+		return existing, nil
+	}
+	c.conns[addr] = wc
+	c.mu.Unlock()
+	return wc, nil
+}
+
+func (c *Client) onNotify(m wire.Message) {
+	u := Update{OID: m.OID, Size: m.Size, Locs: m.Locs, Inline: m.Payload}
+	if err := m.ErrorOf(); err == types.ErrDeleted {
+		u.Deleted = true
+	}
+	c.subMu.Lock()
+	var fns []func(Update)
+	fns = append(fns, c.subs[m.OID]...)
+	c.subMu.Unlock()
+	for _, fn := range fns {
+		fn(u)
+	}
+}
+
+func (c *Client) call(ctx context.Context, m wire.Message) (wire.Message, error) {
+	wc, err := c.conn(ctx, m.OID)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	resp, err := wc.Call(ctx, m)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	return resp, resp.ErrorOf()
+}
+
+// PutStarted registers a partial location: node began creating the object
+// (a local Put copy or an inbound remote transfer). The directory learns
+// the object size here, enabling pipelined downstream fetches before the
+// copy finishes (§3.3).
+func (c *Client) PutStarted(ctx context.Context, oid types.ObjectID, size int64) error {
+	_, err := c.call(ctx, wire.Message{Method: wire.MethodPutStarted, OID: oid, Node: c.self, Size: size})
+	return err
+}
+
+// PutComplete upgrades this node's location to complete.
+func (c *Client) PutComplete(ctx context.Context, oid types.ObjectID) error {
+	_, err := c.call(ctx, wire.Message{Method: wire.MethodPutComplete, OID: oid, Node: c.self})
+	return err
+}
+
+// PutInline stores a small object's payload directly in the directory
+// (§3.2, "optimization for small objects").
+func (c *Client) PutInline(ctx context.Context, oid types.ObjectID, payload []byte) error {
+	_, err := c.call(ctx, wire.Message{Method: wire.MethodPutInline, OID: oid, Payload: payload})
+	return err
+}
+
+// Lease is the result of AcquireSender: either an inline payload (small
+// objects) or a leased sender to pull from.
+type Lease struct {
+	Sender types.NodeID
+	Size   int64
+	Gen    int64
+	Inline []byte
+}
+
+// AcquireSender atomically picks an eligible sender holding the object
+// (preferring complete copies), removes it from the available set,
+// registers this node as a partial location, and records the fetch
+// dependency. If wait is true the call blocks until a sender is available.
+func (c *Client) AcquireSender(ctx context.Context, oid types.ObjectID, wait bool) (Lease, error) {
+	resp, err := c.call(ctx, wire.Message{Method: wire.MethodAcquire, OID: oid, Node: c.self, Wait: wait})
+	if err != nil {
+		return Lease{}, err
+	}
+	return Lease{Sender: resp.Sender, Size: resp.Size, Gen: resp.Gen, Inline: resp.Payload}, nil
+}
+
+// ReleaseSender returns a leased sender after a successful transfer and,
+// when complete, marks this node as holding a complete copy.
+func (c *Client) ReleaseSender(ctx context.Context, oid types.ObjectID, sender types.NodeID, complete bool) error {
+	_, err := c.call(ctx, wire.Message{Method: wire.MethodRelease, OID: oid, Node: c.self, Sender: sender, Complete: complete})
+	return err
+}
+
+// AbortTransfer returns a leased sender after a failed transfer. When
+// senderDead is true the sender's location is dropped from the directory
+// so no other receiver is routed to it.
+func (c *Client) AbortTransfer(ctx context.Context, oid types.ObjectID, sender types.NodeID, senderDead bool) error {
+	_, err := c.call(ctx, wire.Message{Method: wire.MethodAbort, OID: oid, Node: c.self, Sender: sender, Complete: senderDead})
+	return err
+}
+
+// AbortDownstream reports, from the sender side, that the receiver's
+// socket died mid-transfer: the lease is returned and the receiver's
+// partial location dropped (§5.5 failure detection via socket liveness).
+func (c *Client) AbortDownstream(ctx context.Context, oid types.ObjectID, receiver types.NodeID) error {
+	_, err := c.call(ctx, wire.Message{Method: wire.MethodAbortDown, OID: oid, Node: receiver, Sender: c.self})
+	return err
+}
+
+// Record is a Lookup result.
+type Record struct {
+	Size   int64
+	Locs   []types.Location
+	Inline []byte
+}
+
+// Lookup returns the current directory record. With wait set, it blocks
+// until the object has at least one location (synchronous location query,
+// §3.2).
+func (c *Client) Lookup(ctx context.Context, oid types.ObjectID, wait bool) (Record, error) {
+	resp, err := c.call(ctx, wire.Message{Method: wire.MethodLookup, OID: oid, Wait: wait})
+	if err != nil {
+		return Record{}, err
+	}
+	return Record{Size: resp.Size, Locs: resp.Locs, Inline: resp.Payload}, nil
+}
+
+// Subscribe registers fn for push notifications about oid and returns the
+// current record immediately. The subscription lives until Unsubscribe or
+// client close.
+func (c *Client) Subscribe(ctx context.Context, oid types.ObjectID, fn func(Update)) (Record, error) {
+	c.subMu.Lock()
+	c.subs[oid] = append(c.subs[oid], fn)
+	c.subMu.Unlock()
+	resp, err := c.call(ctx, wire.Message{Method: wire.MethodSubscribe, OID: oid, Node: c.self})
+	if err != nil && err != types.ErrDeleted {
+		return Record{}, err
+	}
+	rec := Record{Size: resp.Size, Locs: resp.Locs, Inline: resp.Payload}
+	if err == types.ErrDeleted {
+		return rec, types.ErrDeleted
+	}
+	return rec, nil
+}
+
+// Unsubscribe removes all local callbacks for oid and tells the shard to
+// stop pushing.
+func (c *Client) Unsubscribe(ctx context.Context, oid types.ObjectID) error {
+	c.subMu.Lock()
+	delete(c.subs, oid)
+	c.subMu.Unlock()
+	_, err := c.call(ctx, wire.Message{Method: wire.MethodUnsubscribe, OID: oid, Node: c.self})
+	return err
+}
+
+// Delete marks the object deleted and returns the locations that held
+// copies, so the caller can evict them from the node stores (§6).
+func (c *Client) Delete(ctx context.Context, oid types.ObjectID) ([]types.Location, error) {
+	resp, err := c.call(ctx, wire.Message{Method: wire.MethodDelete, OID: oid})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Locs, nil
+}
+
+// RemoveLocation drops this node's location for oid (store eviction).
+func (c *Client) RemoveLocation(ctx context.Context, oid types.ObjectID) error {
+	_, err := c.call(ctx, wire.Message{Method: wire.MethodRemoveLoc, OID: oid, Node: c.self})
+	return err
+}
+
+// PurgeNode removes every location and lease involving node from all
+// shards; used when a node failure is detected.
+func (c *Client) PurgeNode(ctx context.Context, node types.NodeID) error {
+	var firstErr error
+	for _, addr := range c.shards {
+		wc, err := c.connTo(ctx, addr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		resp, err := wc.Call(ctx, wire.Message{Method: wire.MethodPurgeNode, Node: node})
+		if err == nil {
+			err = resp.ErrorOf()
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close tears down all shard connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]*wire.Client, 0, len(c.conns))
+	for _, wc := range c.conns {
+		conns = append(conns, wc)
+	}
+	c.conns = make(map[string]*wire.Client)
+	c.mu.Unlock()
+	for _, wc := range conns {
+		wc.Close()
+	}
+	return nil
+}

@@ -1,0 +1,445 @@
+package directory
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"hoplite/internal/types"
+	"hoplite/internal/wire"
+)
+
+// startShard runs one directory shard over TCP and returns clients for
+// the given node names.
+func startShard(t *testing.T, nodes ...types.NodeID) []*Client {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := NewServer()
+	srv := wire.NewServer(ln, shard.Handler())
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	dial := func(ctx context.Context, addr string) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", addr)
+	}
+	var clients []*Client
+	for _, n := range nodes {
+		c := NewClient(n, []string{ln.Addr().String()}, dial)
+		t.Cleanup(func() { c.Close() })
+		clients = append(clients, c)
+	}
+	return clients
+}
+
+func ctxT(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestPutAndLookup(t *testing.T) {
+	cs := startShard(t, "n1", "n2")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("a")
+	if err := cs[0].PutStarted(ctx, oid, 100); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := cs[1].Lookup(ctx, oid, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Size != 100 || len(rec.Locs) != 1 || rec.Locs[0].Progress != types.ProgressPartial {
+		t.Fatalf("rec %+v", rec)
+	}
+	if err := cs[0].PutComplete(ctx, oid); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = cs[1].Lookup(ctx, oid, false)
+	if rec.Locs[0].Progress != types.ProgressComplete {
+		t.Fatal("not complete")
+	}
+}
+
+func TestLookupNotFound(t *testing.T) {
+	cs := startShard(t, "n1")
+	_, err := cs[0].Lookup(ctxT(t), types.ObjectIDFromString("missing"), false)
+	if !errors.Is(err, types.ErrNotFound) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestLookupWaitBlocksUntilPut(t *testing.T) {
+	cs := startShard(t, "n1", "n2")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("later")
+	done := make(chan error, 1)
+	go func() {
+		_, err := cs[1].Lookup(ctx, oid, true)
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("lookup returned before put")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := cs[0].PutStarted(ctx, oid, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInlineFastPath(t *testing.T) {
+	cs := startShard(t, "n1", "n2")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("small")
+	payload := []byte("tiny object")
+	if err := cs[0].PutInline(ctx, oid, payload); err != nil {
+		t.Fatal(err)
+	}
+	lease, err := cs[1].AcquireSender(ctx, oid, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(lease.Inline) != string(payload) {
+		t.Fatalf("inline %q", lease.Inline)
+	}
+	rec, err := cs[1].Lookup(ctx, oid, false)
+	if err != nil || string(rec.Inline) != string(payload) {
+		t.Fatalf("lookup inline %q err %v", rec.Inline, err)
+	}
+}
+
+func TestAcquirePrefersComplete(t *testing.T) {
+	cs := startShard(t, "holderP", "holderC", "recv")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("x")
+	if err := cs[0].PutStarted(ctx, oid, 10); err != nil { // partial
+		t.Fatal(err)
+	}
+	if err := cs[1].PutStarted(ctx, oid, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs[1].PutComplete(ctx, oid); err != nil { // complete
+		t.Fatal(err)
+	}
+	lease, err := cs[2].AcquireSender(ctx, oid, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Sender != "holderC" {
+		t.Fatalf("picked %s, want the complete holder", lease.Sender)
+	}
+}
+
+func TestAcquireLeasesAreExclusive(t *testing.T) {
+	cs := startShard(t, "holder", "r1", "r2")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("x")
+	if err := cs[0].PutStarted(ctx, oid, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs[0].PutComplete(ctx, oid); err != nil {
+		t.Fatal(err)
+	}
+	l1, err := cs[1].AcquireSender(ctx, oid, false)
+	if err != nil || l1.Sender != "holder" {
+		t.Fatalf("first acquire: %v %v", l1, err)
+	}
+	// The holder is leased out; the only other location is r1's fresh
+	// partial — r2 gets routed to r1 (the broadcast-tree growth, §3.4.1).
+	l2, err := cs[2].AcquireSender(ctx, oid, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Sender != "r1" {
+		t.Fatalf("second acquire picked %s, want r1 (the partial)", l2.Sender)
+	}
+	// Releasing returns the holder and upgrades r1 to complete.
+	if err := cs[1].ReleaseSender(ctx, oid, "holder", true); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := cs[0].Lookup(ctx, oid, false)
+	progress := map[types.NodeID]types.Progress{}
+	for _, l := range rec.Locs {
+		progress[l.Node] = l.Progress
+	}
+	if progress["r1"] != types.ProgressComplete {
+		t.Fatalf("r1 progress %v", progress["r1"])
+	}
+}
+
+func TestAcquireCycleAvoidance(t *testing.T) {
+	cs := startShard(t, "s", "r1", "r2")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("x")
+	cs[0].PutStarted(ctx, oid, 10)
+	cs[0].PutComplete(ctx, oid)
+	// r1 fetches from s; r2 fetches from r1.
+	if l, err := cs[1].AcquireSender(ctx, oid, false); err != nil || l.Sender != "s" {
+		t.Fatalf("%v %v", l, err)
+	}
+	if l, err := cs[2].AcquireSender(ctx, oid, false); err != nil || l.Sender != "r1" {
+		t.Fatalf("%v %v", l, err)
+	}
+	// s dies; r1 aborts and re-acquires. The only free location is r2 —
+	// but r2's dependency chain leads back to r1, so it must be skipped
+	// (no cyclic transfers, §3.5.1).
+	if err := cs[1].AbortTransfer(ctx, oid, "s", true); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cs[1].AcquireSender(ctx, oid, false)
+	if !errors.Is(err, types.ErrNoSender) {
+		t.Fatalf("got %v, want ErrNoSender (cycle)", err)
+	}
+	// r2 finishes; now r1 can fetch from it.
+	if err := cs[2].ReleaseSender(ctx, oid, "r1", true); err != nil {
+		t.Fatal(err)
+	}
+	l, err := cs[1].AcquireSender(ctx, oid, false)
+	if err != nil || l.Sender != "r2" {
+		t.Fatalf("%v %v", l, err)
+	}
+}
+
+func TestAbortDropsDeadSender(t *testing.T) {
+	cs := startShard(t, "s", "r")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("x")
+	cs[0].PutStarted(ctx, oid, 10)
+	cs[0].PutComplete(ctx, oid)
+	if _, err := cs[1].AcquireSender(ctx, oid, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs[1].AbortTransfer(ctx, oid, "s", true); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := cs[1].Lookup(ctx, oid, false)
+	for _, l := range rec.Locs {
+		if l.Node == "s" {
+			t.Fatal("dead sender still listed")
+		}
+	}
+}
+
+func TestAbortDownstream(t *testing.T) {
+	cs := startShard(t, "s", "r", "r2")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("x")
+	cs[0].PutStarted(ctx, oid, 10)
+	cs[0].PutComplete(ctx, oid)
+	if _, err := cs[1].AcquireSender(ctx, oid, false); err != nil {
+		t.Fatal(err)
+	}
+	// The sender reports the receiver's socket died: the lease frees and
+	// the receiver's partial location drops, so a new receiver can lease
+	// the sender again.
+	if err := cs[0].AbortDownstream(ctx, oid, "r"); err != nil {
+		t.Fatal(err)
+	}
+	l, err := cs[2].AcquireSender(ctx, oid, false)
+	if err != nil || l.Sender != "s" {
+		t.Fatalf("%v %v", l, err)
+	}
+}
+
+func TestAcquireWaitUnblocksOnRelease(t *testing.T) {
+	cs := startShard(t, "s", "r1", "r2")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("x")
+	cs[0].PutStarted(ctx, oid, 10)
+	cs[0].PutComplete(ctx, oid)
+	if _, err := cs[1].AcquireSender(ctx, oid, false); err != nil {
+		t.Fatal(err)
+	}
+	// r1 holds the only lease; r1's own partial is the only other
+	// location but r2 could lease it... remove it to force waiting.
+	if err := cs[1].RemoveLocation(ctx, oid); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan types.NodeID, 1)
+	go func() {
+		l, err := cs[2].AcquireSender(ctx, oid, true)
+		if err != nil {
+			done <- ""
+			return
+		}
+		done <- l.Sender
+	}()
+	select {
+	case <-done:
+		t.Fatal("acquire returned while all locations leased")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := cs[1].ReleaseSender(ctx, oid, "s", false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case sender := <-done:
+		if sender != "s" {
+			t.Fatalf("sender %q", sender)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not woken")
+	}
+}
+
+func TestDeleteTombstonesAndReports(t *testing.T) {
+	cs := startShard(t, "a", "b")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("x")
+	cs[0].PutStarted(ctx, oid, 10)
+	cs[0].PutComplete(ctx, oid)
+	cs[1].PutStarted(ctx, oid, 10)
+	locs, err := cs[0].Delete(ctx, oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 2 {
+		t.Fatalf("locs %v", locs)
+	}
+	if _, err := cs[1].AcquireSender(ctx, oid, false); !errors.Is(err, types.ErrDeleted) {
+		t.Fatalf("got %v", err)
+	}
+	// Re-creation un-deletes with a new generation.
+	if err := cs[0].PutStarted(ctx, oid, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs[1].AcquireSender(ctx, oid, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerationBumpsOnRecreate(t *testing.T) {
+	cs := startShard(t, "a", "b")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("x")
+	cs[0].PutStarted(ctx, oid, 10)
+	cs[0].PutComplete(ctx, oid)
+	l1, err := cs[1].AcquireSender(ctx, oid, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs[1].AbortTransfer(ctx, oid, "a", true)
+	cs[1].RemoveLocation(ctx, oid) // drop own partial: zero locations
+	cs[0].PutStarted(ctx, oid, 10)
+	cs[0].PutComplete(ctx, oid)
+	l2, err := cs[1].AcquireSender(ctx, oid, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Gen == l1.Gen {
+		t.Fatal("generation did not bump on re-creation")
+	}
+}
+
+func TestSubscribeNotifications(t *testing.T) {
+	cs := startShard(t, "pub", "sub")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("x")
+	var mu sync.Mutex
+	var updates []Update
+	_, err := cs[1].Subscribe(ctx, oid, func(u Update) {
+		mu.Lock()
+		updates = append(updates, u)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs[0].PutStarted(ctx, oid, 42)
+	cs[0].PutComplete(ctx, oid)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(updates)
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("got %d updates, want 2", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	last := updates[len(updates)-1]
+	if last.Size != 42 || len(last.Locs) != 1 || last.Locs[0].Progress != types.ProgressComplete {
+		t.Fatalf("last update %+v", last)
+	}
+}
+
+func TestUnsubscribeStopsNotifications(t *testing.T) {
+	cs := startShard(t, "pub", "sub")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("x")
+	count := make(chan struct{}, 16)
+	if _, err := cs[1].Subscribe(ctx, oid, func(Update) { count <- struct{}{} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs[1].Unsubscribe(ctx, oid); err != nil {
+		t.Fatal(err)
+	}
+	cs[0].PutStarted(ctx, oid, 1)
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case <-count:
+		t.Fatal("notification after unsubscribe")
+	default:
+	}
+}
+
+func TestPurgeNode(t *testing.T) {
+	cs := startShard(t, "dead", "live", "r")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("x")
+	cs[0].PutStarted(ctx, oid, 10)
+	cs[0].PutComplete(ctx, oid)
+	cs[1].PutStarted(ctx, oid, 10)
+	cs[1].PutComplete(ctx, oid)
+	// r leases "dead"; then dead is purged: lease freed and location gone.
+	if l, _ := cs[2].AcquireSender(ctx, oid, false); l.Sender != "dead" && l.Sender != "live" {
+		t.Fatalf("sender %s", l.Sender)
+	}
+	if err := cs[2].PurgeNode(ctx, "dead"); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := cs[2].Lookup(ctx, oid, false)
+	for _, l := range rec.Locs {
+		if l.Node == "dead" {
+			t.Fatal("purged node still listed")
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := NewServer()
+	srv := wire.NewServer(ln, shard.Handler())
+	go srv.Serve()
+	defer srv.Close()
+	dial := func(ctx context.Context, addr string) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", addr)
+	}
+	c := NewClient("n", []string{ln.Addr().String()}, dial)
+	defer c.Close()
+	ctx := ctxT(t)
+	c.PutInline(ctx, types.ObjectIDFromString("s"), []byte("x"))
+	c.PutStarted(ctx, types.ObjectIDFromString("l"), 100)
+	st := shard.Stats()
+	if st.Objects != 2 || st.Inline != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}

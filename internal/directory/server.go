@@ -1,0 +1,537 @@
+// Package directory implements Hoplite's object directory service (§3.2):
+// a sharded table mapping each ObjectID to its size and the set of node
+// locations holding a partial or complete copy. It supports synchronous
+// (blocking) and asynchronous (push-notification) location queries, the
+// atomic sender-acquisition protocol that drives receiver-driven broadcast
+// (§3.4.1), fetch-dependency tracking for cycle avoidance (§3.5.1), and the
+// small-object fast path that caches payloads < 64 KB inline (§3.2).
+package directory
+
+import (
+	"context"
+	"sync"
+
+	"hoplite/internal/types"
+	"hoplite/internal/wire"
+)
+
+// entry is the directory record for one object.
+type entry struct {
+	size    int64
+	inline  []byte // small-object fast path payload (nil if none)
+	deleted bool
+	// gen counts re-creations of the object: it is bumped whenever the
+	// entry gains its first location after having none. A receiver whose
+	// lease generation changes across a retry must discard its partial
+	// bytes instead of resuming, because the object was re-produced (for
+	// example a reduce root re-executed with a different source set).
+	gen int64
+
+	// prog is the authoritative progress of every node holding a copy.
+	prog map[types.NodeID]types.Progress
+	// leasedTo maps a holder to the single receiver it is currently
+	// sending to. A holder is an eligible sender iff it is in prog and
+	// not in leasedTo — this is the paper's "remove the location from the
+	// directory while it serves one receiver" rule, which caps every node
+	// at one downstream receiver per object.
+	leasedTo map[types.NodeID]types.NodeID
+	// deps maps a receiver to the upstream sender it is currently
+	// fetching from; walking deps detects cycles when choosing a sender
+	// for a restarted fetch (§3.5.1).
+	deps map[types.NodeID]types.NodeID
+
+	// waiters are closed on every mutation, waking blocked Acquire calls.
+	waiters []chan struct{}
+	// subs receive push notifications on every mutation.
+	subs map[*wire.Peer]types.NodeID
+}
+
+func newEntry() *entry {
+	return &entry{
+		size:     types.SizeUnknown,
+		prog:     make(map[types.NodeID]types.Progress),
+		leasedTo: make(map[types.NodeID]types.NodeID),
+		deps:     make(map[types.NodeID]types.NodeID),
+		subs:     make(map[*wire.Peer]types.NodeID),
+	}
+}
+
+func (e *entry) wake() {
+	for _, ch := range e.waiters {
+		close(ch)
+	}
+	e.waiters = nil
+}
+
+func (e *entry) snapshotLocs() []types.Location {
+	locs := make([]types.Location, 0, len(e.prog))
+	for n, p := range e.prog {
+		locs = append(locs, types.Location{Node: n, Progress: p})
+	}
+	return locs
+}
+
+// Server hosts one shard of the directory.
+type Server struct {
+	srv *wire.Server
+
+	mu      sync.Mutex
+	entries map[types.ObjectID]*entry
+	closed  bool
+}
+
+// NewServer creates a shard server; call Serve on the returned server's
+// wire listener via Start.
+func NewServer() *Server {
+	return &Server{entries: make(map[types.ObjectID]*entry)}
+}
+
+// Handler returns the wire handler for this shard, for embedding into a
+// node's control server.
+func (s *Server) Handler() wire.Handler {
+	return s.handle
+}
+
+func (s *Server) entryLocked(oid types.ObjectID) *entry {
+	e, ok := s.entries[oid]
+	if !ok {
+		e = newEntry()
+		s.entries[oid] = e
+	}
+	return e
+}
+
+// notifyLocked builds the notification sends for e's subscribers; the
+// returned closure must be invoked after releasing s.mu so that a slow
+// subscriber cannot stall the shard.
+func (s *Server) notifyLocked(oid types.ObjectID, e *entry) func() {
+	if len(e.subs) == 0 {
+		return func() {}
+	}
+	msg := wire.Message{
+		Method:  wire.MethodNotify,
+		OID:     oid,
+		Size:    e.size,
+		Locs:    e.snapshotLocs(),
+		Payload: e.inline,
+	}
+	if e.deleted {
+		msg.SetError(types.ErrDeleted)
+	}
+	peers := make([]*wire.Peer, 0, len(e.subs))
+	for p := range e.subs {
+		peers = append(peers, p)
+	}
+	return func() {
+		for _, p := range peers {
+			_ = p.Notify(msg)
+		}
+	}
+}
+
+func (s *Server) handle(ctx context.Context, m wire.Message, p *wire.Peer) wire.Message {
+	switch m.Method {
+	case wire.MethodPing:
+		return wire.Message{Method: wire.MethodPing}
+	case wire.MethodPutStarted:
+		return s.putStarted(m)
+	case wire.MethodPutComplete:
+		return s.putComplete(m)
+	case wire.MethodPutInline:
+		return s.putInline(m)
+	case wire.MethodAcquire:
+		return s.acquire(ctx, m)
+	case wire.MethodRelease:
+		return s.release(m)
+	case wire.MethodAbort:
+		return s.abort(m)
+	case wire.MethodAbortDown:
+		return s.abortDownstream(m)
+	case wire.MethodLookup:
+		return s.lookup(ctx, m)
+	case wire.MethodSubscribe:
+		return s.subscribe(m, p)
+	case wire.MethodUnsubscribe:
+		return s.unsubscribe(m, p)
+	case wire.MethodDelete:
+		return s.delete(m)
+	case wire.MethodRemoveLoc:
+		return s.removeLoc(m)
+	case wire.MethodPurgeNode:
+		return s.purgeNode(m)
+	default:
+		var resp wire.Message
+		resp.Err = "directory: unknown method"
+		return resp
+	}
+}
+
+func (s *Server) putStarted(m wire.Message) wire.Message {
+	s.mu.Lock()
+	e := s.entryLocked(m.OID)
+	var resp wire.Message
+	if e.deleted {
+		// A Put after Delete recreates the object (task re-execution).
+		e.deleted = false
+		e.inline = nil
+	}
+	if len(e.prog) == 0 {
+		e.gen++
+	}
+	e.size = m.Size
+	if _, ok := e.prog[m.Node]; !ok {
+		e.prog[m.Node] = types.ProgressPartial
+	}
+	if m.Complete {
+		e.prog[m.Node] = types.ProgressComplete
+	}
+	e.wake()
+	notify := s.notifyLocked(m.OID, e)
+	s.mu.Unlock()
+	notify()
+	return resp
+}
+
+func (s *Server) putComplete(m wire.Message) wire.Message {
+	s.mu.Lock()
+	e := s.entryLocked(m.OID)
+	var resp wire.Message
+	if e.deleted {
+		resp.SetError(types.ErrDeleted)
+		s.mu.Unlock()
+		return resp
+	}
+	e.prog[m.Node] = types.ProgressComplete
+	e.wake()
+	notify := s.notifyLocked(m.OID, e)
+	s.mu.Unlock()
+	notify()
+	return resp
+}
+
+func (s *Server) putInline(m wire.Message) wire.Message {
+	s.mu.Lock()
+	e := s.entryLocked(m.OID)
+	e.deleted = false
+	e.inline = append([]byte(nil), m.Payload...)
+	e.size = int64(len(e.inline))
+	e.wake()
+	notify := s.notifyLocked(m.OID, e)
+	s.mu.Unlock()
+	notify()
+	return wire.Message{}
+}
+
+// cyclicLocked reports whether candidate's fetch-dependency chain reaches
+// receiver, which would create a cyclic object transfer.
+func cyclicLocked(e *entry, candidate, receiver types.NodeID) bool {
+	cur := candidate
+	for i := 0; i <= len(e.deps); i++ {
+		up, ok := e.deps[cur]
+		if !ok {
+			return false
+		}
+		if up == receiver {
+			return true
+		}
+		cur = up
+	}
+	return true // defensive: treat unexpected longer chains as cyclic
+}
+
+// pickLocked selects an eligible sender for receiver, preferring holders
+// with complete copies over partial ones (§3.4.1).
+func pickLocked(e *entry, receiver types.NodeID) (types.NodeID, bool) {
+	var partial types.NodeID
+	var havePartial bool
+	for n, prog := range e.prog {
+		if n == receiver {
+			continue
+		}
+		if _, leased := e.leasedTo[n]; leased {
+			continue
+		}
+		if cyclicLocked(e, n, receiver) {
+			continue
+		}
+		if prog == types.ProgressComplete {
+			return n, true
+		}
+		if !havePartial {
+			partial, havePartial = n, true
+		}
+	}
+	return partial, havePartial
+}
+
+func (s *Server) acquire(ctx context.Context, m wire.Message) wire.Message {
+	receiver := m.Node
+	for {
+		s.mu.Lock()
+		e := s.entryLocked(m.OID)
+		var resp wire.Message
+		switch {
+		case e.deleted:
+			resp.SetError(types.ErrDeleted)
+			s.mu.Unlock()
+			return resp
+		case e.inline != nil:
+			resp.Payload = e.inline
+			resp.Size = e.size
+			s.mu.Unlock()
+			return resp
+		default:
+			if sender, ok := pickLocked(e, receiver); ok {
+				e.leasedTo[sender] = receiver
+				e.deps[receiver] = sender
+				if _, held := e.prog[receiver]; !held {
+					e.prog[receiver] = types.ProgressPartial
+				}
+				resp.Sender = sender
+				resp.Size = e.size
+				resp.Gen = e.gen
+				notify := s.notifyLocked(m.OID, e)
+				s.mu.Unlock()
+				notify()
+				return resp
+			}
+		}
+		if !m.Wait {
+			if len(e.prog) == 0 {
+				resp.SetError(types.ErrNotFound)
+			} else {
+				resp.SetError(types.ErrNoSender)
+			}
+			s.mu.Unlock()
+			return resp
+		}
+		ch := make(chan struct{})
+		e.waiters = append(e.waiters, ch)
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			var resp wire.Message
+			resp.SetError(ctx.Err())
+			return resp
+		}
+	}
+}
+
+func (s *Server) release(m wire.Message) wire.Message {
+	s.mu.Lock()
+	e := s.entryLocked(m.OID)
+	if e.leasedTo[m.Sender] == m.Node {
+		delete(e.leasedTo, m.Sender)
+	}
+	delete(e.deps, m.Node)
+	if m.Complete && !e.deleted {
+		e.prog[m.Node] = types.ProgressComplete
+	}
+	e.wake()
+	notify := s.notifyLocked(m.OID, e)
+	s.mu.Unlock()
+	notify()
+	return wire.Message{}
+}
+
+// abort ends a failed transfer: the lease is returned and, when
+// m.Complete is set (meaning "the sender is dead"), the sender's location
+// is dropped. The receiver keeps its partial copy and will re-acquire,
+// resuming from its watermark (§3.5.1).
+func (s *Server) abort(m wire.Message) wire.Message {
+	s.mu.Lock()
+	e := s.entryLocked(m.OID)
+	if e.leasedTo[m.Sender] == m.Node {
+		delete(e.leasedTo, m.Sender)
+	}
+	delete(e.deps, m.Node)
+	if m.Complete { // Complete here means "remove the dead sender's location"
+		delete(e.prog, m.Sender)
+	}
+	e.wake()
+	notify := s.notifyLocked(m.OID, e)
+	s.mu.Unlock()
+	notify()
+	return wire.Message{}
+}
+
+// abortDownstream is the sender-side failure report: the sender (m.Sender)
+// observed its receiver's (m.Node) socket die mid-transfer. The lease is
+// returned and the receiver's (possibly stale) partial location is
+// dropped; a live receiver that merely lost the connection re-registers
+// itself on its next acquire.
+func (s *Server) abortDownstream(m wire.Message) wire.Message {
+	s.mu.Lock()
+	e := s.entryLocked(m.OID)
+	if e.leasedTo[m.Sender] == m.Node {
+		delete(e.leasedTo, m.Sender)
+	}
+	delete(e.deps, m.Node)
+	if e.prog[m.Node] == types.ProgressPartial {
+		delete(e.prog, m.Node)
+	}
+	e.wake()
+	notify := s.notifyLocked(m.OID, e)
+	s.mu.Unlock()
+	notify()
+	return wire.Message{}
+}
+
+func (s *Server) lookup(ctx context.Context, m wire.Message) wire.Message {
+	for {
+		s.mu.Lock()
+		e := s.entryLocked(m.OID)
+		var resp wire.Message
+		if e.deleted {
+			resp.SetError(types.ErrDeleted)
+			s.mu.Unlock()
+			return resp
+		}
+		if e.inline != nil {
+			resp.Payload = e.inline
+			resp.Size = e.size
+			s.mu.Unlock()
+			return resp
+		}
+		if len(e.prog) > 0 || !m.Wait {
+			resp.Size = e.size
+			resp.Locs = e.snapshotLocs()
+			if len(e.prog) == 0 {
+				resp.SetError(types.ErrNotFound)
+			}
+			s.mu.Unlock()
+			return resp
+		}
+		ch := make(chan struct{})
+		e.waiters = append(e.waiters, ch)
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			var resp wire.Message
+			resp.SetError(ctx.Err())
+			return resp
+		}
+	}
+}
+
+func (s *Server) subscribe(m wire.Message, p *wire.Peer) wire.Message {
+	s.mu.Lock()
+	e := s.entryLocked(m.OID)
+	e.subs[p] = m.Node
+	var resp wire.Message
+	resp.Size = e.size
+	resp.Locs = e.snapshotLocs()
+	resp.Payload = e.inline
+	if e.deleted {
+		resp.SetError(types.ErrDeleted)
+	}
+	s.mu.Unlock()
+	oid := m.OID
+	p.OnClose(func() {
+		s.mu.Lock()
+		if e, ok := s.entries[oid]; ok {
+			delete(e.subs, p)
+		}
+		s.mu.Unlock()
+	})
+	return resp
+}
+
+func (s *Server) unsubscribe(m wire.Message, p *wire.Peer) wire.Message {
+	s.mu.Lock()
+	if e, ok := s.entries[m.OID]; ok {
+		delete(e.subs, p)
+	}
+	s.mu.Unlock()
+	return wire.Message{}
+}
+
+func (s *Server) delete(m wire.Message) wire.Message {
+	s.mu.Lock()
+	e := s.entryLocked(m.OID)
+	var resp wire.Message
+	resp.Locs = e.snapshotLocs()
+	e.deleted = true
+	e.inline = nil
+	e.prog = make(map[types.NodeID]types.Progress)
+	e.leasedTo = make(map[types.NodeID]types.NodeID)
+	e.deps = make(map[types.NodeID]types.NodeID)
+	e.wake()
+	notify := s.notifyLocked(m.OID, e)
+	s.mu.Unlock()
+	notify()
+	return resp
+}
+
+func (s *Server) removeLoc(m wire.Message) wire.Message {
+	s.mu.Lock()
+	e := s.entryLocked(m.OID)
+	delete(e.prog, m.Node)
+	e.wake()
+	notify := s.notifyLocked(m.OID, e)
+	s.mu.Unlock()
+	notify()
+	return wire.Message{}
+}
+
+// purgeNode drops every location and lease involving a failed node across
+// all objects in the shard.
+func (s *Server) purgeNode(m wire.Message) wire.Message {
+	node := m.Node
+	s.mu.Lock()
+	var notifies []func()
+	for oid, e := range s.entries {
+		touched := false
+		if _, ok := e.prog[node]; ok {
+			delete(e.prog, node)
+			touched = true
+		}
+		if _, ok := e.leasedTo[node]; ok {
+			delete(e.leasedTo, node)
+			touched = true
+		}
+		if up, ok := e.deps[node]; ok {
+			// The failed node was fetching from up; return up's lease.
+			if e.leasedTo[up] == node {
+				delete(e.leasedTo, up)
+			}
+			delete(e.deps, node)
+			touched = true
+		}
+		for recv, up := range e.deps {
+			if up == node {
+				delete(e.deps, recv)
+			}
+		}
+		if touched {
+			e.wake()
+			notifies = append(notifies, s.notifyLocked(oid, e))
+		}
+	}
+	s.mu.Unlock()
+	for _, fn := range notifies {
+		fn()
+	}
+	return wire.Message{}
+}
+
+// Stats reports shard-level counters, used by tests and the CLI.
+type Stats struct {
+	Objects int
+	Inline  int
+}
+
+// Stats returns current shard statistics.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Objects: len(s.entries)}
+	for _, e := range s.entries {
+		if e.inline != nil {
+			st.Inline++
+		}
+	}
+	return st
+}

@@ -1,0 +1,404 @@
+// Package netem provides the network fabric Hoplite nodes communicate
+// over. A Fabric hands out listeners and dialers; two implementations
+// exist:
+//
+//   - TCP: plain loopback/LAN TCP, the production path.
+//   - Emulated: loopback TCP shaped per node with full-duplex token-bucket
+//     bandwidth limits and one-way latency injection, plus node-kill fault
+//     injection. This is the stand-in for the paper's testbed of 16
+//     m5.4xlarge instances with 10 Gbps networking (§5): every scheduling
+//     decision Hoplite makes depends only on latency L, per-node bandwidth
+//     B, and object size S, all of which the emulated fabric reproduces.
+package netem
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"hoplite/internal/types"
+)
+
+// Fabric creates the listeners and connections of a cluster. The node
+// argument is a stable per-node name used to attach traffic shaping and
+// fault injection; plain TCP ignores it.
+type Fabric interface {
+	// Listen opens a listener owned by node.
+	Listen(node string) (net.Listener, error)
+	// Dial connects from node to addr.
+	Dial(ctx context.Context, node, addr string) (net.Conn, error)
+	// Close releases all fabric resources.
+	Close() error
+}
+
+// TCP is the production fabric: plain TCP with no shaping.
+type TCP struct {
+	// ListenAddr is the address listeners bind to; defaults to
+	// "127.0.0.1:0".
+	ListenAddr string
+}
+
+// Listen implements Fabric.
+func (t *TCP) Listen(string) (net.Listener, error) {
+	addr := t.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	return net.Listen("tcp", addr)
+}
+
+// Dial implements Fabric.
+func (t *TCP) Dial(ctx context.Context, _ string, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// Close implements Fabric.
+func (t *TCP) Close() error { return nil }
+
+// LinkConfig describes the emulated per-node link.
+type LinkConfig struct {
+	// Latency is the one-way propagation delay applied to received data.
+	Latency time.Duration
+	// BytesPerSec is the full-duplex per-node bandwidth (applied
+	// independently to ingress and egress, like a NIC). Zero or negative
+	// means unlimited.
+	BytesPerSec float64
+	// Burst is the token bucket depth in bytes; defaults to 256 KiB.
+	Burst float64
+}
+
+// Emulated is a loopback fabric with per-node traffic shaping and fault
+// injection.
+type Emulated struct {
+	cfg LinkConfig
+
+	mu    sync.Mutex
+	nodes map[string]*shapedNode
+}
+
+// NewEmulated returns a fabric applying cfg to every node.
+func NewEmulated(cfg LinkConfig) *Emulated {
+	if cfg.Burst <= 0 {
+		cfg.Burst = 256 << 10
+	}
+	return &Emulated{cfg: cfg, nodes: make(map[string]*shapedNode)}
+}
+
+type shapedNode struct {
+	name    string
+	egress  *bucket
+	ingress *bucket
+
+	mu        sync.Mutex
+	killed    bool
+	conns     map[net.Conn]struct{}
+	listeners map[net.Listener]struct{}
+}
+
+func (e *Emulated) node(name string) *shapedNode {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n, ok := e.nodes[name]
+	if !ok {
+		n = &shapedNode{
+			name:      name,
+			egress:    newBucket(e.cfg.BytesPerSec, e.cfg.Burst),
+			ingress:   newBucket(e.cfg.BytesPerSec, e.cfg.Burst),
+			conns:     make(map[net.Conn]struct{}),
+			listeners: make(map[net.Listener]struct{}),
+		}
+		e.nodes[name] = n
+	}
+	return n
+}
+
+func (n *shapedNode) register(c net.Conn) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.killed {
+		return fmt.Errorf("netem: node %s is down: %w", n.name, types.ErrNodeDown)
+	}
+	n.conns[c] = struct{}{}
+	return nil
+}
+
+func (n *shapedNode) unregister(c net.Conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+}
+
+// Listen implements Fabric.
+func (e *Emulated) Listen(node string) (net.Listener, error) {
+	sn := e.node(node)
+	sn.mu.Lock()
+	if sn.killed {
+		sn.mu.Unlock()
+		return nil, fmt.Errorf("netem: node %s is down: %w", node, types.ErrNodeDown)
+	}
+	sn.mu.Unlock()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	sl := &shapedListener{Listener: ln, fab: e, node: sn}
+	sn.mu.Lock()
+	sn.listeners[ln] = struct{}{}
+	sn.mu.Unlock()
+	return sl, nil
+}
+
+// Dial implements Fabric.
+func (e *Emulated) Dial(ctx context.Context, node, addr string) (net.Conn, error) {
+	sn := e.node(node)
+	sn.mu.Lock()
+	killed := sn.killed
+	sn.mu.Unlock()
+	if killed {
+		return nil, fmt.Errorf("netem: node %s is down: %w", node, types.ErrNodeDown)
+	}
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := newShapedConn(c, sn, e.cfg.Latency)
+	if err := sn.register(sc); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return sc, nil
+}
+
+// Kill abruptly disconnects a node: all of its connections and listeners
+// close, and future Listen/Dial calls by it fail, until Revive. Peers
+// observe broken sockets, which is exactly how Hoplite detects failures
+// (§5.5: "Hoplite detects failure by checking the liveness of a socket
+// connection").
+func (e *Emulated) Kill(node string) {
+	sn := e.node(node)
+	sn.mu.Lock()
+	sn.killed = true
+	conns := make([]net.Conn, 0, len(sn.conns))
+	for c := range sn.conns {
+		conns = append(conns, c)
+	}
+	lns := make([]net.Listener, 0, len(sn.listeners))
+	for l := range sn.listeners {
+		lns = append(lns, l)
+	}
+	sn.conns = make(map[net.Conn]struct{})
+	sn.listeners = make(map[net.Listener]struct{})
+	sn.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, l := range lns {
+		l.Close()
+	}
+}
+
+// Revive allows a previously killed node to create connections again.
+func (e *Emulated) Revive(node string) {
+	sn := e.node(node)
+	sn.mu.Lock()
+	sn.killed = false
+	sn.mu.Unlock()
+}
+
+// Close implements Fabric.
+func (e *Emulated) Close() error {
+	e.mu.Lock()
+	nodes := make([]*shapedNode, 0, len(e.nodes))
+	for _, n := range e.nodes {
+		nodes = append(nodes, n)
+	}
+	e.mu.Unlock()
+	for _, n := range nodes {
+		e.Kill(n.name)
+	}
+	return nil
+}
+
+type shapedListener struct {
+	net.Listener
+	fab  *Emulated
+	node *shapedNode
+}
+
+func (l *shapedListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	sc := newShapedConn(c, l.node, l.fab.cfg.Latency)
+	if err := l.node.register(sc); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return sc, nil
+}
+
+func (l *shapedListener) Close() error {
+	l.node.mu.Lock()
+	delete(l.node.listeners, l.Listener)
+	l.node.mu.Unlock()
+	return l.Listener.Close()
+}
+
+// shapedConn wraps one endpoint of a TCP connection. Writes consume the
+// owning node's egress tokens; reads are pumped through a delay queue that
+// consumes ingress tokens and releases data one-way-latency after arrival.
+type shapedConn struct {
+	net.Conn
+	node    *shapedNode
+	latency time.Duration
+
+	segCh   chan segment
+	readMu  sync.Mutex
+	pendSeg *segment
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type segment struct {
+	data []byte
+	at   time.Time
+	err  error
+}
+
+func newShapedConn(c net.Conn, node *shapedNode, latency time.Duration) *shapedConn {
+	sc := &shapedConn{Conn: c, node: node, latency: latency, segCh: make(chan segment, 64)}
+	go sc.pump()
+	return sc
+}
+
+func (c *shapedConn) pump() {
+	for {
+		buf := make([]byte, 64<<10)
+		n, err := c.Conn.Read(buf)
+		if n > 0 {
+			c.node.ingress.take(int64(n))
+			c.segCh <- segment{data: buf[:n], at: time.Now().Add(c.latency)}
+		}
+		if err != nil {
+			c.segCh <- segment{err: err, at: time.Now().Add(c.latency)}
+			return
+		}
+	}
+}
+
+// Read implements net.Conn.
+func (c *shapedConn) Read(p []byte) (int, error) {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	seg := c.pendSeg
+	if seg == nil {
+		s, ok := <-c.segCh
+		if !ok {
+			return 0, types.ErrClosed
+		}
+		seg = &s
+	}
+	sleepUntil(seg.at)
+	if seg.err != nil {
+		c.pendSeg = seg // sticky error
+		return 0, seg.err
+	}
+	n := copy(p, seg.data)
+	if n < len(seg.data) {
+		seg.data = seg.data[n:]
+		c.pendSeg = seg
+	} else {
+		c.pendSeg = nil
+	}
+	return n, nil
+}
+
+// Write implements net.Conn.
+func (c *shapedConn) Write(p []byte) (int, error) {
+	var written int
+	for len(p) > 0 {
+		chunk := p
+		if len(chunk) > 64<<10 {
+			chunk = chunk[:64<<10]
+		}
+		c.node.egress.take(int64(len(chunk)))
+		n, err := c.Conn.Write(chunk)
+		written += n
+		if err != nil {
+			return written, err
+		}
+		p = p[len(chunk):]
+	}
+	return written, nil
+}
+
+// Close implements net.Conn.
+func (c *shapedConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.node.unregister(c)
+		c.closeErr = c.Conn.Close()
+	})
+	return c.closeErr
+}
+
+// sleepUntil waits until at with sub-millisecond accuracy: the kernel
+// timer quantum can exceed 1 ms in virtualized environments, which would
+// inflate injected latencies by an order of magnitude, so the tail of the
+// wait is spun cooperatively.
+func sleepUntil(at time.Time) {
+	for {
+		d := time.Until(at)
+		switch {
+		case d <= 0:
+			return
+		case d > 2*time.Millisecond:
+			time.Sleep(d - 2*time.Millisecond)
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// bucket is a token bucket permitting "debt": a take larger than the
+// current balance succeeds immediately but sleeps off the deficit, which
+// smooths large writes without chunking loops.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second; <=0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64) *bucket {
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+func (b *bucket) take(n int64) {
+	if b.rate <= 0 {
+		return
+	}
+	b.mu.Lock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	b.tokens -= float64(n)
+	var wait time.Duration
+	if b.tokens < 0 {
+		wait = time.Duration(-b.tokens / b.rate * float64(time.Second))
+	}
+	b.mu.Unlock()
+	if wait > 0 {
+		sleepUntil(now.Add(wait))
+	}
+}

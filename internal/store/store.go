@@ -1,0 +1,243 @@
+// Package store implements the per-node object store (§2.1, §6): an
+// in-memory table of immutable object buffers. Objects created by a local
+// Put are pinned until Delete — guaranteeing at least one live copy exists
+// to serve future Gets — while copies replicated from remote nodes are
+// unpinned and evicted LRU when the store exceeds its capacity.
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"hoplite/internal/buffer"
+	"hoplite/internal/types"
+)
+
+// EvictFunc is called (outside the store lock) when an unpinned copy is
+// evicted, so the node can remove its directory location.
+type EvictFunc func(oid types.ObjectID)
+
+// Store is a node-local object store.
+type Store struct {
+	capacity int64
+	onEvict  EvictFunc
+
+	mu      sync.Mutex
+	used    int64
+	objects map[types.ObjectID]*object
+	lru     *list.List // front = most recently used; holds evictable oids
+	closed  bool
+}
+
+type object struct {
+	buf    *buffer.Buffer
+	pinned bool
+	elem   *list.Element // non-nil when on the LRU list
+}
+
+// New creates a store. capacity <= 0 means unlimited.
+func New(capacity int64, onEvict EvictFunc) *Store {
+	if onEvict == nil {
+		onEvict = func(types.ObjectID) {}
+	}
+	return &Store{
+		capacity: capacity,
+		onEvict:  onEvict,
+		objects:  make(map[types.ObjectID]*object),
+		lru:      list.New(),
+	}
+}
+
+// Create allocates a buffer for a new object. pinned marks Put-created
+// objects that must survive until Delete; unpinned objects are remote
+// copies eligible for LRU eviction. It returns ErrExists if the object is
+// already present.
+func (s *Store) Create(oid types.ObjectID, size int64, pinned bool) (*buffer.Buffer, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, types.ErrClosed
+	}
+	if _, ok := s.objects[oid]; ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("store: %v: %w", oid, types.ErrExists)
+	}
+	evicted := s.ensureRoomLocked(size)
+	buf := buffer.New(size)
+	o := &object{buf: buf, pinned: pinned}
+	if !pinned {
+		o.elem = s.lru.PushFront(oid)
+	}
+	s.objects[oid] = o
+	s.used += size
+	s.mu.Unlock()
+	for _, e := range evicted {
+		s.onEvict(e)
+	}
+	return buf, nil
+}
+
+// InsertSealed stores an already-complete payload (e.g. a small object
+// fetched inline) without copying.
+func (s *Store) InsertSealed(oid types.ObjectID, data []byte, pinned bool) (*buffer.Buffer, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, types.ErrClosed
+	}
+	if o, ok := s.objects[oid]; ok {
+		s.mu.Unlock()
+		return o.buf, fmt.Errorf("store: %v: %w", oid, types.ErrExists)
+	}
+	evicted := s.ensureRoomLocked(int64(len(data)))
+	buf := buffer.FromBytes(data)
+	o := &object{buf: buf, pinned: pinned}
+	if !pinned {
+		o.elem = s.lru.PushFront(oid)
+	}
+	s.objects[oid] = o
+	s.used += int64(len(data))
+	s.mu.Unlock()
+	for _, e := range evicted {
+		s.onEvict(e)
+	}
+	return buf, nil
+}
+
+// ensureRoomLocked evicts unpinned complete LRU objects until size fits,
+// returning the evicted IDs. Objects still being written are never
+// evicted.
+func (s *Store) ensureRoomLocked(size int64) []types.ObjectID {
+	if s.capacity <= 0 {
+		return nil
+	}
+	var evicted []types.ObjectID
+	for s.used+size > s.capacity {
+		var victim *list.Element
+		for e := s.lru.Back(); e != nil; e = e.Prev() {
+			oid := e.Value.(types.ObjectID)
+			if o := s.objects[oid]; o != nil && o.buf.Complete() {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return evicted // nothing evictable; allow overflow
+		}
+		oid := victim.Value.(types.ObjectID)
+		o := s.objects[oid]
+		s.lru.Remove(victim)
+		delete(s.objects, oid)
+		s.used -= o.buf.Size()
+		evicted = append(evicted, oid)
+	}
+	return evicted
+}
+
+// Get returns the buffer for oid, marking it recently used.
+func (s *Store) Get(oid types.ObjectID) (*buffer.Buffer, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[oid]
+	if !ok {
+		return nil, false
+	}
+	if o.elem != nil {
+		s.lru.MoveToFront(o.elem)
+	}
+	return o.buf, true
+}
+
+// Pin marks an existing object non-evictable.
+func (s *Store) Pin(oid types.ObjectID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[oid]
+	if !ok {
+		return false
+	}
+	if o.elem != nil {
+		s.lru.Remove(o.elem)
+		o.elem = nil
+	}
+	o.pinned = true
+	return true
+}
+
+// Unpin makes an object evictable again.
+func (s *Store) Unpin(oid types.ObjectID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[oid]
+	if !ok {
+		return false
+	}
+	if o.pinned {
+		o.pinned = false
+		o.elem = s.lru.PushFront(oid)
+	}
+	return true
+}
+
+// Delete removes an object regardless of pinning, failing its buffer so
+// any in-flight readers abort. It reports whether the object was present.
+func (s *Store) Delete(oid types.ObjectID) bool {
+	s.mu.Lock()
+	o, ok := s.objects[oid]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	if o.elem != nil {
+		s.lru.Remove(o.elem)
+	}
+	delete(s.objects, oid)
+	s.used -= o.buf.Size()
+	s.mu.Unlock()
+	o.buf.Fail(types.ErrDeleted)
+	return true
+}
+
+// Contains reports whether the object is present (partial or complete).
+func (s *Store) Contains(oid types.ObjectID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.objects[oid]
+	return ok
+}
+
+// Used returns the bytes currently allocated.
+func (s *Store) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+// Close fails every buffer and empties the store.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	objs := make([]*object, 0, len(s.objects))
+	for _, o := range s.objects {
+		objs = append(objs, o)
+	}
+	s.objects = make(map[types.ObjectID]*object)
+	s.lru.Init()
+	s.used = 0
+	s.mu.Unlock()
+	for _, o := range objs {
+		o.buf.Fail(types.ErrClosed)
+	}
+}

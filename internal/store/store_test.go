@@ -1,0 +1,219 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hoplite/internal/types"
+)
+
+func oid(i int) types.ObjectID { return types.ObjectID{byte(i), byte(i >> 8)} }
+
+func TestCreateGetDelete(t *testing.T) {
+	s := New(0, nil)
+	buf, err := s.Create(oid(1), 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Append(make([]byte, 10))
+	buf.Seal()
+	got, ok := s.Get(oid(1))
+	if !ok || got != buf {
+		t.Fatal("Get did not return buffer")
+	}
+	if !s.Delete(oid(1)) {
+		t.Fatal("Delete reported absent")
+	}
+	if _, ok := s.Get(oid(1)); ok {
+		t.Fatal("object survives Delete")
+	}
+	// A sealed buffer is never failed (readers hold valid data); an
+	// in-progress buffer must be failed so blocked readers abort.
+	if got.Failed() != nil {
+		t.Fatal("sealed buffer failed by Delete")
+	}
+	part, err := s.Create(oid(2), 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Delete(oid(2))
+	if !errors.Is(part.Failed(), types.ErrDeleted) {
+		t.Fatal("incomplete buffer not failed by Delete")
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	s := New(0, nil)
+	if _, err := s.Create(oid(1), 4, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create(oid(1), 4, true); !errors.Is(err, types.ErrExists) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestInsertSealed(t *testing.T) {
+	s := New(0, nil)
+	buf, err := s.InsertSealed(oid(2), []byte("abc"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !buf.Complete() || string(buf.Bytes()) != "abc" {
+		t.Fatal("sealed insert wrong")
+	}
+	if s.Used() != 3 {
+		t.Fatalf("used %d", s.Used())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	var evicted []types.ObjectID
+	var mu sync.Mutex
+	s := New(30, func(o types.ObjectID) {
+		mu.Lock()
+		evicted = append(evicted, o)
+		mu.Unlock()
+	})
+	for i := 0; i < 3; i++ {
+		buf, err := s.InsertSealed(oid(i), make([]byte, 10), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = buf
+	}
+	// Touch object 0 so object 1 is LRU.
+	s.Get(oid(0))
+	if _, err := s.InsertSealed(oid(9), make([]byte, 10), false); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(evicted) != 1 || evicted[0] != oid(1) {
+		t.Fatalf("evicted %v, want [oid(1)]", evicted)
+	}
+	if s.Used() != 30 {
+		t.Fatalf("used %d", s.Used())
+	}
+}
+
+func TestPinnedNeverEvicted(t *testing.T) {
+	s := New(20, nil)
+	if _, err := s.InsertSealed(oid(1), make([]byte, 10), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertSealed(oid(2), make([]byte, 10), true); err != nil {
+		t.Fatal(err)
+	}
+	// Over capacity with only pinned objects: allowed to overflow.
+	if _, err := s.InsertSealed(oid(3), make([]byte, 10), true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if !s.Contains(oid(i)) {
+			t.Fatalf("pinned object %d evicted", i)
+		}
+	}
+}
+
+func TestIncompleteNeverEvicted(t *testing.T) {
+	s := New(10, nil)
+	if _, err := s.Create(oid(1), 10, false); err != nil {
+		t.Fatal(err)
+	}
+	// partial, unpinned, but incomplete: not evictable
+	if _, err := s.InsertSealed(oid(2), make([]byte, 10), false); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(oid(1)) {
+		t.Fatal("incomplete object evicted")
+	}
+}
+
+func TestPinUnpin(t *testing.T) {
+	s := New(10, nil)
+	if _, err := s.InsertSealed(oid(1), make([]byte, 10), false); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Pin(oid(1)) {
+		t.Fatal("Pin failed")
+	}
+	if _, err := s.InsertSealed(oid(2), make([]byte, 10), false); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(oid(1)) {
+		t.Fatal("pinned object evicted")
+	}
+	if !s.Unpin(oid(1)) {
+		t.Fatal("Unpin failed")
+	}
+	if s.Pin(oid(99)) {
+		t.Fatal("Pin of absent object succeeded")
+	}
+}
+
+func TestCloseFailsBuffers(t *testing.T) {
+	s := New(0, nil)
+	buf, _ := s.Create(oid(1), 5, true)
+	s.Close()
+	if !errors.Is(buf.Failed(), types.ErrClosed) {
+		t.Fatal("buffer not failed on close")
+	}
+	if _, err := s.Create(oid(2), 5, false); !errors.Is(err, types.ErrClosed) {
+		t.Fatal("create after close succeeded")
+	}
+	if s.Len() != 0 {
+		t.Fatal("store not empty after close")
+	}
+}
+
+// Property: used-bytes accounting matches the sum of live object sizes
+// under arbitrary insert/delete sequences, and pinned objects survive.
+func TestAccountingProperty(t *testing.T) {
+	fn := func(ops []uint16) bool {
+		s := New(500, nil)
+		live := map[types.ObjectID]int64{}
+		pinned := map[types.ObjectID]bool{}
+		for _, op := range ops {
+			id := oid(int(op % 16))
+			switch (op / 16) % 3 {
+			case 0:
+				size := int64(op%97) + 1
+				pin := op%2 == 0
+				if _, err := s.InsertSealed(id, make([]byte, size), pin); err == nil {
+					live[id] = size
+					pinned[id] = pin
+				}
+			case 1:
+				if s.Delete(id) {
+					delete(live, id)
+					delete(pinned, id)
+				}
+			case 2:
+				s.Get(id)
+			}
+			// Reconcile: evictions may have removed unpinned entries.
+			for id := range live {
+				if !s.Contains(id) {
+					if pinned[id] {
+						return false // pinned object vanished
+					}
+					delete(live, id)
+					delete(pinned, id)
+				}
+			}
+			var want int64
+			for _, sz := range live {
+				want += sz
+			}
+			if s.Used() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,349 @@
+// Package transport implements Hoplite's data plane: a minimal framed TCP
+// protocol through which a receiver node pulls an object's bytes from a
+// sender node's store. The sender streams chunks as its local buffer
+// watermark advances, so a node holding only a partial copy can already
+// forward data (fine-grained pipelining, §3.3). Pulls carry a starting
+// offset, which is how a receiver resumes from its watermark after a
+// sender failure (§3.5.1). Failure detection is socket liveness (§5.5).
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"hoplite/internal/buffer"
+	"hoplite/internal/types"
+)
+
+// Wire constants.
+const (
+	reqPull byte = 0x70 // 'p'
+
+	chunkEOF uint32 = 0
+	chunkErr uint32 = 0xFFFFFFFF
+
+	// DefaultChunkSize is the wire chunk granularity. The paper's
+	// pipelining block is 4 MB (§5.1.1); smaller wire chunks inside that
+	// block keep latency low while bufio amortizes syscalls.
+	DefaultChunkSize = 256 << 10
+)
+
+// Getter resolves an ObjectID to the local buffer that should serve a
+// pull. Implementations may block briefly for a buffer whose directory
+// registration raced ahead of its local creation.
+type Getter func(ctx context.Context, oid types.ObjectID) (*buffer.Buffer, error)
+
+// SendFailFunc is called when a sender observes its receiver's socket die
+// mid-transfer, so the node can clear the receiver's directory lease
+// (failure detection via socket liveness, §5.5).
+type SendFailFunc func(oid types.ObjectID, receiver types.NodeID)
+
+// Server serves pull requests from a node's store.
+type Server struct {
+	ln     net.Listener
+	get    Getter
+	onFail SendFailFunc
+	chunk  int
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer creates a data-plane server on ln.
+func NewServer(ln net.Listener, get Getter, chunkSize int, onFail SendFailFunc) *Server {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	if onFail == nil {
+		onFail = func(types.ObjectID, types.NodeID) {}
+	}
+	return &Server{ln: ln, get: get, onFail: onFail, chunk: chunkSize, conns: make(map[net.Conn]struct{})}
+}
+
+// Addr returns the listen address; it doubles as the node's NodeID.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve accepts pull connections until Close.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return types.ErrClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return types.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn handles exactly one pull per connection (Pull dials per
+// transfer). A monitor read detects the receiver's socket dying even
+// while the sender is blocked waiting for its own buffer to fill, so the
+// directory lease is freed promptly (§5.5).
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var hdr [1 + types.ObjectIDSize + 8 + 2]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return
+	}
+	if hdr[0] != reqPull {
+		return
+	}
+	var oid types.ObjectID
+	copy(oid[:], hdr[1:1+types.ObjectIDSize])
+	offset := int64(binary.BigEndian.Uint64(hdr[1+types.ObjectIDSize:]))
+	rlen := int(binary.BigEndian.Uint16(hdr[1+types.ObjectIDSize+8:]))
+	rbuf := make([]byte, rlen)
+	if _, err := io.ReadFull(br, rbuf); err != nil {
+		return
+	}
+	receiver := types.NodeID(rbuf)
+
+	// The client sends nothing after the request; a read completing means
+	// the connection died.
+	closed := make(chan struct{})
+	go func() {
+		var one [1]byte
+		conn.Read(one[:])
+		close(closed)
+		cancel()
+	}()
+
+	sentEOF, err := s.servePull(ctx, bw, oid, offset)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if sentEOF && err == nil {
+		return // stream completed; the receiver releases the lease itself
+	}
+	receiverDead := err != nil && !errors.Is(err, context.Canceled)
+	select {
+	case <-closed:
+		receiverDead = true
+	default:
+	}
+	if receiverDead {
+		// The receiver's socket died mid-transfer; report it so the
+		// directory lease is freed (§5.5). Graceful error frames (local
+		// buffer failed, receiver alive) take the other branch.
+		s.onFail(oid, receiver)
+	}
+}
+
+func writeChunkHeader(w io.Writer, n uint32) error {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], n)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func writeError(w *bufio.Writer, err error) error {
+	msg := err.Error()
+	if e := writeChunkHeader(w, chunkErr); e != nil {
+		return e
+	}
+	if e := writeChunkHeader(w, uint32(len(msg))); e != nil {
+		return e
+	}
+	if _, e := w.WriteString(msg); e != nil {
+		return e
+	}
+	return w.Flush()
+}
+
+// servePull streams one object. sentEOF reports whether the full stream
+// (terminated by the EOF chunk) was handed to the writer.
+func (s *Server) servePull(ctx context.Context, bw *bufio.Writer, oid types.ObjectID, offset int64) (sentEOF bool, err error) {
+	buf, err := s.get(ctx, oid)
+	if err != nil {
+		return false, writeError(bw, err)
+	}
+	// Size header first so the receiver can allocate.
+	var szb [8]byte
+	binary.BigEndian.PutUint64(szb[:], uint64(buf.Size()))
+	if _, err := bw.Write(szb[:]); err != nil {
+		return false, err
+	}
+	data := buf.Bytes()
+	off := offset
+	for off < buf.Size() {
+		wm, _, err := buf.WaitAt(ctx, off)
+		if err != nil {
+			return false, writeError(bw, err)
+		}
+		for off < wm {
+			end := off + int64(s.chunk)
+			if end > wm {
+				end = wm
+			}
+			if err := writeChunkHeader(bw, uint32(end-off)); err != nil {
+				return false, err
+			}
+			if _, err := bw.Write(data[off:end]); err != nil {
+				return false, err
+			}
+			off = end
+		}
+		// Flush at watermark boundaries so partial data reaches the
+		// receiver promptly.
+		if err := bw.Flush(); err != nil {
+			return false, err
+		}
+	}
+	return true, writeChunkHeader(bw, chunkEOF)
+}
+
+// Close stops the server and closes every data connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+// DialFunc opens a data-plane connection to the chosen sender.
+type DialFunc func(ctx context.Context) (net.Conn, error)
+
+// Pull streams oid's bytes from the sender reached via dial into dst,
+// starting at offset (which must equal dst's watermark). self identifies
+// the pulling node so the sender can report a broken receiver to the
+// directory. Bytes are appended to dst as they arrive, advancing its
+// watermark so that local readers and onward transfers proceed
+// concurrently. On success dst is sealed. On failure dst is left
+// un-failed at its current watermark so the caller can resume from
+// another sender.
+func Pull(ctx context.Context, dial DialFunc, self types.NodeID, oid types.ObjectID, offset int64, dst *buffer.Buffer) error {
+	if offset != dst.Watermark() {
+		return fmt.Errorf("transport: pull offset %d != watermark %d", offset, dst.Watermark())
+	}
+	conn, err := dial(ctx)
+	if err != nil {
+		return fmt.Errorf("transport: dial sender: %w", err)
+	}
+	defer conn.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
+
+	rid := []byte(self)
+	if len(rid) > 65535 {
+		return fmt.Errorf("transport: node id too long")
+	}
+	req := make([]byte, 0, 1+types.ObjectIDSize+8+2+len(rid))
+	req = append(req, reqPull)
+	req = append(req, oid[:]...)
+	req = binary.BigEndian.AppendUint64(req, uint64(offset))
+	req = binary.BigEndian.AppendUint16(req, uint16(len(rid)))
+	req = append(req, rid...)
+	if _, err := conn.Write(req); err != nil {
+		return fmt.Errorf("transport: send request: %w", err)
+	}
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var szb [8]byte
+	if _, err := io.ReadFull(br, szb[:]); err != nil {
+		return fmt.Errorf("transport: read size: %w", err)
+	}
+	size := int64(binary.BigEndian.Uint64(szb[:]))
+	// An error frame can arrive instead of a size header; sizes are never
+	// large enough to collide with the error sentinel in practice, but a
+	// dedicated check keeps the protocol honest.
+	if size != dst.Size() {
+		// Distinguish "error frame" from genuine size mismatch.
+		if uint32(size>>32) == chunkErr {
+			return fmt.Errorf("transport: sender error: %w", types.ErrAborted)
+		}
+		return fmt.Errorf("transport: size mismatch: sender %d, local %d", size, dst.Size())
+	}
+
+	got := offset
+	chunk := make([]byte, DefaultChunkSize)
+	for {
+		var hb [4]byte
+		if _, err := io.ReadFull(br, hb[:]); err != nil {
+			return fmt.Errorf("transport: read chunk header: %w", err)
+		}
+		n := binary.BigEndian.Uint32(hb[:])
+		switch n {
+		case chunkEOF:
+			if got != size {
+				return fmt.Errorf("transport: short stream: %d of %d bytes", got, size)
+			}
+			dst.Seal()
+			return nil
+		case chunkErr:
+			if _, err := io.ReadFull(br, hb[:]); err != nil {
+				return fmt.Errorf("transport: read error frame: %w", err)
+			}
+			msgLen := binary.BigEndian.Uint32(hb[:])
+			msg := make([]byte, msgLen)
+			if _, err := io.ReadFull(br, msg); err != nil {
+				return fmt.Errorf("transport: read error frame: %w", err)
+			}
+			if string(msg) == types.ErrDeleted.Error() {
+				return types.ErrDeleted
+			}
+			return fmt.Errorf("transport: sender: %s: %w", msg, types.ErrAborted)
+		default:
+			if int(n) > len(chunk) {
+				chunk = make([]byte, n)
+			}
+			if _, err := io.ReadFull(br, chunk[:n]); err != nil {
+				return fmt.Errorf("transport: read chunk: %w", err)
+			}
+			if got+int64(n) > size {
+				return errors.New("transport: sender overran object size")
+			}
+			if err := dst.Append(chunk[:n]); err != nil {
+				return err
+			}
+			got += int64(n)
+		}
+	}
+}

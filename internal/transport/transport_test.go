@@ -1,0 +1,295 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"hoplite/internal/buffer"
+	"hoplite/internal/types"
+)
+
+type fixture struct {
+	srv  *Server
+	addr string
+	mu   sync.Mutex
+	objs map[types.ObjectID]*buffer.Buffer
+	fail []struct {
+		oid  types.ObjectID
+		recv types.NodeID
+	}
+}
+
+func startFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{objs: make(map[types.ObjectID]*buffer.Buffer)}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(ctx context.Context, oid types.ObjectID) (*buffer.Buffer, error) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if b, ok := f.objs[oid]; ok {
+			return b, nil
+		}
+		return nil, types.ErrNotFound
+	}
+	onFail := func(oid types.ObjectID, recv types.NodeID) {
+		f.mu.Lock()
+		f.fail = append(f.fail, struct {
+			oid  types.ObjectID
+			recv types.NodeID
+		}{oid, recv})
+		f.mu.Unlock()
+	}
+	f.srv = NewServer(ln, get, 8<<10, onFail)
+	f.addr = ln.Addr().String()
+	go f.srv.Serve()
+	t.Cleanup(func() { f.srv.Close() })
+	return f
+}
+
+func dialTo(addr string) DialFunc {
+	return func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", addr)
+	}
+}
+
+func (f *fixture) add(oid types.ObjectID, b *buffer.Buffer) {
+	f.mu.Lock()
+	f.objs[oid] = b
+	f.mu.Unlock()
+}
+
+func payload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 7)
+	}
+	return b
+}
+
+func TestPullComplete(t *testing.T) {
+	f := startFixture(t)
+	oid := types.ObjectIDFromString("x")
+	data := payload(300000)
+	f.add(oid, buffer.FromBytes(data))
+	dst := buffer.New(int64(len(data)))
+	if err := Pull(context.Background(), dialTo(f.addr), "recv", oid, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Complete() || !bytes.Equal(dst.Bytes(), data) {
+		t.Fatal("pull mismatch")
+	}
+}
+
+func TestPullStreamsFromPartialSource(t *testing.T) {
+	f := startFixture(t)
+	oid := types.ObjectIDFromString("x")
+	data := payload(200000)
+	src := buffer.New(int64(len(data)))
+	f.add(oid, src)
+	dst := buffer.New(int64(len(data)))
+	done := make(chan error, 1)
+	go func() { done <- Pull(context.Background(), dialTo(f.addr), "recv", oid, 0, dst) }()
+	// Feed the source gradually; the pull must track the watermark.
+	for off := 0; off < len(data); off += 33333 {
+		end := off + 33333
+		if end > len(data) {
+			end = len(data)
+		}
+		src.Append(data[off:end])
+		time.Sleep(time.Millisecond)
+	}
+	src.Seal()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst.Bytes(), data) {
+		t.Fatal("pipelined pull mismatch")
+	}
+}
+
+func TestPullResumeFromOffset(t *testing.T) {
+	f := startFixture(t)
+	oid := types.ObjectIDFromString("x")
+	data := payload(100000)
+	f.add(oid, buffer.FromBytes(data))
+	dst := buffer.New(int64(len(data)))
+	dst.Append(data[:40000]) // already received from a failed sender
+	if err := Pull(context.Background(), dialTo(f.addr), "recv", oid, 40000, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst.Bytes(), data) {
+		t.Fatal("resumed pull mismatch")
+	}
+}
+
+func TestPullOffsetMismatch(t *testing.T) {
+	dst := buffer.New(100)
+	err := Pull(context.Background(), dialTo("127.0.0.1:1"), "recv", types.ObjectID{}, 50, dst)
+	if err == nil {
+		t.Fatal("offset mismatch accepted")
+	}
+}
+
+func TestPullUnknownObject(t *testing.T) {
+	f := startFixture(t)
+	dst := buffer.New(10)
+	err := Pull(context.Background(), dialTo(f.addr), "recv", types.ObjectIDFromString("nope"), 0, dst)
+	if err == nil {
+		t.Fatal("unknown object pulled")
+	}
+	if dst.Failed() != nil {
+		t.Fatal("dst failed; must stay resumable")
+	}
+}
+
+func TestPullDeletedSource(t *testing.T) {
+	f := startFixture(t)
+	oid := types.ObjectIDFromString("x")
+	src := buffer.New(1000)
+	src.Fail(types.ErrDeleted)
+	f.add(oid, src)
+	dst := buffer.New(1000)
+	err := Pull(context.Background(), dialTo(f.addr), "recv", oid, 0, dst)
+	if !errors.Is(err, types.ErrDeleted) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestPullSourceFailsMidStream(t *testing.T) {
+	f := startFixture(t)
+	oid := types.ObjectIDFromString("x")
+	src := buffer.New(100000)
+	src.Append(payload(30000))
+	f.add(oid, src)
+	dst := buffer.New(100000)
+	done := make(chan error, 1)
+	go func() { done <- Pull(context.Background(), dialTo(f.addr), "recv", oid, 0, dst) }()
+	time.Sleep(30 * time.Millisecond)
+	src.Fail(types.ErrAborted)
+	err := <-done
+	if err == nil {
+		t.Fatal("pull succeeded from failed source")
+	}
+	// The receiver keeps its partial bytes to resume elsewhere.
+	if dst.Watermark() == 0 {
+		t.Fatal("no partial bytes retained")
+	}
+	if dst.Failed() != nil {
+		t.Fatal("dst failed; must stay resumable")
+	}
+}
+
+func TestPullContextCancel(t *testing.T) {
+	f := startFixture(t)
+	oid := types.ObjectIDFromString("x")
+	src := buffer.New(1 << 20) // never completes
+	f.add(oid, src)
+	dst := buffer.New(1 << 20)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := Pull(ctx, dialTo(f.addr), "recv", oid, 0, dst); err == nil {
+		t.Fatal("pull survived cancellation")
+	}
+}
+
+func TestSendFailureCallback(t *testing.T) {
+	f := startFixture(t)
+	oid := types.ObjectIDFromString("x")
+	src := buffer.New(1 << 20)
+	src.Append(payload(64 << 10))
+	f.add(oid, src)
+	dst := buffer.New(1 << 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Pull(ctx, dialTo(f.addr), "receiver-7", oid, 0, dst) }()
+	time.Sleep(30 * time.Millisecond)
+	cancel() // breaks the receiver's socket mid-transfer
+	<-done
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		f.mu.Lock()
+		n := len(f.fail)
+		f.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sender did not report the broken receiver")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail[0].oid != oid || f.fail[0].recv != "receiver-7" {
+		t.Fatalf("reported %+v", f.fail[0])
+	}
+}
+
+func TestMultiplePullsSameConnSequential(t *testing.T) {
+	f := startFixture(t)
+	a, b := types.ObjectIDFromString("a"), types.ObjectIDFromString("b")
+	f.add(a, buffer.FromBytes(payload(5000)))
+	f.add(b, buffer.FromBytes(payload(7000)))
+	// Separate Pull calls each dial their own conn; both must work.
+	d1 := buffer.New(5000)
+	d2 := buffer.New(7000)
+	if err := Pull(context.Background(), dialTo(f.addr), "r", a, 0, d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Pull(context.Background(), dialTo(f.addr), "r", b, 0, d2); err != nil {
+		t.Fatal(err)
+	}
+	if !d1.Complete() || !d2.Complete() {
+		t.Fatal("pulls incomplete")
+	}
+}
+
+func TestZeroSizeObject(t *testing.T) {
+	f := startFixture(t)
+	oid := types.ObjectIDFromString("empty")
+	f.add(oid, buffer.FromBytes(nil))
+	dst := buffer.New(0)
+	if err := Pull(context.Background(), dialTo(f.addr), "r", oid, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Complete() {
+		t.Fatal("empty object not complete")
+	}
+}
+
+func TestConcurrentPullsDifferentReceivers(t *testing.T) {
+	f := startFixture(t)
+	oid := types.ObjectIDFromString("x")
+	data := payload(500000)
+	f.add(oid, buffer.FromBytes(data))
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := buffer.New(int64(len(data)))
+			err := Pull(context.Background(), dialTo(f.addr), "r", oid, 0, dst)
+			if err == nil && !bytes.Equal(dst.Bytes(), data) {
+				err = errors.New("mismatch")
+			}
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// DType is the element type of a reducible object. Objects are byte buffers
+// interpreted as dense arrays of DType elements (the paper evaluates arrays
+// of 32-bit floats, §5.1.2).
+type DType uint8
+
+// Supported element types.
+const (
+	F32 DType = iota
+	F64
+	I32
+	I64
+)
+
+// Size returns the element width in bytes.
+func (d DType) Size() int {
+	switch d {
+	case F32, I32:
+		return 4
+	case F64, I64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// String implements fmt.Stringer.
+func (d DType) String() string {
+	switch d {
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	default:
+		return fmt.Sprintf("dtype(%d)", uint8(d))
+	}
+}
+
+// OpKind is a commutative, associative element-wise operation.
+type OpKind uint8
+
+// Supported operation kinds.
+const (
+	Sum OpKind = iota
+	Min
+	Max
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// ReduceOp combines an operation kind with the element type it operates on.
+// The zero value is Sum over F32.
+type ReduceOp struct {
+	Kind  OpKind
+	DType DType
+}
+
+// String implements fmt.Stringer.
+func (op ReduceOp) String() string { return op.Kind.String() + "/" + op.DType.String() }
+
+// Validate reports whether the op names a supported kernel.
+func (op ReduceOp) Validate() error {
+	if op.DType.Size() == 0 {
+		return fmt.Errorf("types: unsupported dtype %v", op.DType)
+	}
+	switch op.Kind {
+	case Sum, Min, Max:
+		return nil
+	default:
+		return fmt.Errorf("types: unsupported op kind %v", op.Kind)
+	}
+}
+
+// Accumulate folds src into dst element-wise in place: dst = op(dst, src).
+// Both slices must have equal length, a multiple of the element size.
+// Little-endian layout is assumed, matching the wire format used by the
+// data plane.
+func (op ReduceOp) Accumulate(dst, src []byte) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("types: accumulate length mismatch %d != %d", len(dst), len(src))
+	}
+	es := op.DType.Size()
+	if es == 0 {
+		return fmt.Errorf("types: unsupported dtype %v", op.DType)
+	}
+	if len(dst)%es != 0 {
+		return fmt.Errorf("types: buffer length %d not a multiple of element size %d", len(dst), es)
+	}
+	switch op.DType {
+	case F32:
+		accumulateF32(op.Kind, dst, src)
+	case F64:
+		accumulateF64(op.Kind, dst, src)
+	case I32:
+		accumulateI32(op.Kind, dst, src)
+	case I64:
+		accumulateI64(op.Kind, dst, src)
+	}
+	return nil
+}
+
+func accumulateF32(kind OpKind, dst, src []byte) {
+	for i := 0; i+4 <= len(dst); i += 4 {
+		a := math.Float32frombits(binary.LittleEndian.Uint32(dst[i:]))
+		b := math.Float32frombits(binary.LittleEndian.Uint32(src[i:]))
+		var r float32
+		switch kind {
+		case Sum:
+			r = a + b
+		case Min:
+			r = min(a, b)
+		case Max:
+			r = max(a, b)
+		}
+		binary.LittleEndian.PutUint32(dst[i:], math.Float32bits(r))
+	}
+}
+
+func accumulateF64(kind OpKind, dst, src []byte) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+		var r float64
+		switch kind {
+		case Sum:
+			r = a + b
+		case Min:
+			r = min(a, b)
+		case Max:
+			r = max(a, b)
+		}
+		binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(r))
+	}
+}
+
+func accumulateI32(kind OpKind, dst, src []byte) {
+	for i := 0; i+4 <= len(dst); i += 4 {
+		a := int32(binary.LittleEndian.Uint32(dst[i:]))
+		b := int32(binary.LittleEndian.Uint32(src[i:]))
+		var r int32
+		switch kind {
+		case Sum:
+			r = a + b
+		case Min:
+			r = min(a, b)
+		case Max:
+			r = max(a, b)
+		}
+		binary.LittleEndian.PutUint32(dst[i:], uint32(r))
+	}
+}
+
+func accumulateI64(kind OpKind, dst, src []byte) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		a := int64(binary.LittleEndian.Uint64(dst[i:]))
+		b := int64(binary.LittleEndian.Uint64(src[i:]))
+		var r int64
+		switch kind {
+		case Sum:
+			r = a + b
+		case Min:
+			r = min(a, b)
+		case Max:
+			r = max(a, b)
+		}
+		binary.LittleEndian.PutUint64(dst[i:], uint64(r))
+	}
+}
+
+// EncodeF32 encodes a float32 slice into the little-endian wire layout.
+func EncodeF32(xs []float32) []byte {
+	out := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(x))
+	}
+	return out
+}
+
+// DecodeF32 decodes the little-endian wire layout into float32s.
+func DecodeF32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// EncodeI64 encodes an int64 slice into the little-endian wire layout.
+func EncodeI64(xs []int64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+// DecodeI64 decodes the little-endian wire layout into int64s.
+func DecodeI64(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package types
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestObjectIDFromStringDeterministic(t *testing.T) {
+	a := ObjectIDFromString("hello")
+	b := ObjectIDFromString("hello")
+	if a != b {
+		t.Fatal("same string produced different IDs")
+	}
+	if a == ObjectIDFromString("world") {
+		t.Fatal("different strings collided")
+	}
+}
+
+func TestObjectIDHexRoundTrip(t *testing.T) {
+	id := RandomObjectID()
+	back, err := ObjectIDFromHex(id.Hex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatal("hex round trip mismatch")
+	}
+}
+
+func TestObjectIDFromHexErrors(t *testing.T) {
+	if _, err := ObjectIDFromHex("zz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if _, err := ObjectIDFromHex("abcd"); err == nil {
+		t.Fatal("short hex accepted")
+	}
+}
+
+func TestObjectIDIsZero(t *testing.T) {
+	var z ObjectID
+	if !z.IsZero() {
+		t.Fatal("zero ID not zero")
+	}
+	if RandomObjectID().IsZero() {
+		t.Fatal("random ID is zero")
+	}
+}
+
+func TestObjectIDShardRange(t *testing.T) {
+	fn := func(seed int64, n uint8) bool {
+		shards := int(n%16) + 1
+		id := ObjectID{}.Derive("t", seed, 0)
+		s := id.Shard(shards)
+		return s >= 0 && s < shards
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveDistinct(t *testing.T) {
+	base := ObjectIDFromString("base")
+	seen := map[ObjectID]bool{base: true}
+	for a := int64(0); a < 10; a++ {
+		for b := int64(0); b < 10; b++ {
+			id := base.Derive("tag", a, b)
+			if seen[id] {
+				t.Fatalf("collision at (%d,%d)", a, b)
+			}
+			seen[id] = true
+		}
+	}
+	if base.Derive("tag", 1, 2) != base.Derive("tag", 1, 2) {
+		t.Fatal("Derive not deterministic")
+	}
+	if base.Derive("x", 1, 2) == base.Derive("y", 1, 2) {
+		t.Fatal("tag ignored")
+	}
+}
+
+func TestProgressString(t *testing.T) {
+	if ProgressPartial.String() != "partial" || ProgressComplete.String() != "complete" || ProgressNone.String() != "none" {
+		t.Fatal("progress strings wrong")
+	}
+}
+
+func TestDTypeSizes(t *testing.T) {
+	cases := map[DType]int{F32: 4, I32: 4, F64: 8, I64: 8}
+	for d, want := range cases {
+		if d.Size() != want {
+			t.Fatalf("%v size %d want %d", d, d.Size(), want)
+		}
+	}
+	if DType(99).Size() != 0 {
+		t.Fatal("unknown dtype has nonzero size")
+	}
+}
+
+func TestReduceOpValidate(t *testing.T) {
+	for _, k := range []OpKind{Sum, Min, Max} {
+		for _, d := range []DType{F32, F64, I32, I64} {
+			if err := (ReduceOp{Kind: k, DType: d}).Validate(); err != nil {
+				t.Fatalf("%v/%v invalid: %v", k, d, err)
+			}
+		}
+	}
+	if err := (ReduceOp{Kind: OpKind(9)}).Validate(); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	if err := (ReduceOp{DType: DType(9)}).Validate(); err == nil {
+		t.Fatal("bad dtype accepted")
+	}
+}
+
+func TestAccumulateSumF32(t *testing.T) {
+	dst := EncodeF32([]float32{1, 2, 3})
+	src := EncodeF32([]float32{10, 20, 30})
+	op := ReduceOp{Kind: Sum, DType: F32}
+	if err := op.Accumulate(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	got := DecodeF32(dst)
+	want := []float32{11, 22, 33}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("elem %d: %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAccumulateMinMaxF32(t *testing.T) {
+	for _, tc := range []struct {
+		kind OpKind
+		want []float32
+	}{
+		{Min, []float32{1, -5, 3}},
+		{Max, []float32{4, 2, 9}},
+	} {
+		dst := EncodeF32([]float32{1, 2, 9})
+		src := EncodeF32([]float32{4, -5, 3})
+		op := ReduceOp{Kind: tc.kind, DType: F32}
+		if err := op.Accumulate(dst, src); err != nil {
+			t.Fatal(err)
+		}
+		got := DecodeF32(dst)
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%v elem %d: %v want %v", tc.kind, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestAccumulateI64(t *testing.T) {
+	dst := EncodeI64([]int64{1, -2, math.MaxInt64 - 1})
+	src := EncodeI64([]int64{10, 5, 1})
+	op := ReduceOp{Kind: Sum, DType: I64}
+	if err := op.Accumulate(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	got := DecodeI64(dst)
+	if got[0] != 11 || got[1] != 3 || got[2] != math.MaxInt64 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAccumulateF64(t *testing.T) {
+	enc := func(xs []float64) []byte {
+		out := make([]byte, 8*len(xs))
+		for i, x := range xs {
+			bits := math.Float64bits(x)
+			for j := 0; j < 8; j++ {
+				out[8*i+j] = byte(bits >> (8 * j))
+			}
+		}
+		return out
+	}
+	dst := enc([]float64{1.5, 2.5})
+	src := enc([]float64{0.25, 0.75})
+	op := ReduceOp{Kind: Sum, DType: F64}
+	if err := op.Accumulate(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, enc([]float64{1.75, 3.25})) {
+		t.Fatal("f64 sum wrong")
+	}
+}
+
+func TestAccumulateI32(t *testing.T) {
+	mk := func(xs ...int32) []byte {
+		out := make([]byte, 4*len(xs))
+		for i, x := range xs {
+			u := uint32(x)
+			out[4*i], out[4*i+1], out[4*i+2], out[4*i+3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+		}
+		return out
+	}
+	dst := mk(5, -3)
+	op := ReduceOp{Kind: Max, DType: I32}
+	if err := op.Accumulate(dst, mk(2, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, mk(5, 7)) {
+		t.Fatal("i32 max wrong")
+	}
+}
+
+func TestAccumulateLengthMismatch(t *testing.T) {
+	op := ReduceOp{Kind: Sum, DType: F32}
+	if err := op.Accumulate(make([]byte, 8), make([]byte, 4)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := op.Accumulate(make([]byte, 5), make([]byte, 5)); err == nil {
+		t.Fatal("unaligned length accepted")
+	}
+}
+
+// Property: sum accumulation is commutative and associative over the
+// fold, so any order of pairwise accumulation gives the same result
+// (this is the invariant Hoplite's reduce tree relies on, §3.4.2).
+func TestAccumulateOrderIndependenceI64(t *testing.T) {
+	op := ReduceOp{Kind: Sum, DType: I64}
+	fn := func(a, b, c []int64) bool {
+		n := min(len(a), min(len(b), len(c)))
+		a, b, c = a[:n], b[:n], c[:n]
+		fold := func(order [][]int64) []int64 {
+			acc := make([]byte, 8*n)
+			for _, xs := range order {
+				if err := op.Accumulate(acc, EncodeI64(xs)); err != nil {
+					return nil
+				}
+			}
+			return DecodeI64(acc)
+		}
+		x := fold([][]int64{a, b, c})
+		y := fold([][]int64{c, a, b})
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeF32RoundTrip(t *testing.T) {
+	fn := func(xs []float32) bool {
+		got := DecodeF32(EncodeF32(xs))
+		if len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if math.Float32bits(got[i]) != math.Float32bits(xs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSentinelErrorsDistinct(t *testing.T) {
+	errs := []error{ErrNotFound, ErrDeleted, ErrNoSender, ErrAborted, ErrNodeDown, ErrTooFewObjects, ErrExists, ErrClosed}
+	for i, a := range errs {
+		for j, b := range errs {
+			if i != j && errors.Is(a, b) {
+				t.Fatalf("errors %d and %d alias", i, j)
+			}
+		}
+	}
+}

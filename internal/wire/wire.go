@@ -1,0 +1,398 @@
+// Package wire implements the control-plane RPC used by Hoplite's object
+// directory service and reduce coordination: length-delimited gob messages
+// over TCP with pipelined request/response matching and server→client push
+// notifications. The paper uses gRPC for this role (§4); wire provides the
+// same semantics with only the standard library.
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"hoplite/internal/types"
+)
+
+// Method identifies an RPC method. The set covers the directory service and
+// the reduce control plane; unused fields of Message are simply zero.
+type Method uint8
+
+// RPC methods.
+const (
+	MethodNone Method = iota
+
+	// Directory service (§3.2).
+	MethodPutStarted  // object creation began on a node: register partial location
+	MethodPutComplete // object fully present on a node: mark complete
+	MethodPutInline   // small-object fast path: store payload in the directory
+	MethodAcquire     // atomically lease a sender location for a receiver
+	MethodRelease     // transfer finished: return sender, update receiver progress
+	MethodAbort       // transfer failed: optionally drop the dead sender location
+	MethodAbortDown   // sender saw the receiver's socket die: clear its lease/location
+	MethodLookup      // non-mutating: size + all locations
+	MethodSubscribe   // push future location updates for an object
+	MethodUnsubscribe // stop pushing
+	MethodDelete      // remove all copies of an object
+	MethodPurgeNode   // drop every location on a (failed) node
+	MethodNotify      // server→client push: location update
+	MethodRemoveLoc   // drop one (object, node) location (eviction)
+
+	// Node control plane.
+	MethodReduceStart  // coordinator → participant: run (or replace) a tree slot
+	MethodReduceCancel // coordinator → participant: reduce done, clean up
+	MethodEvictLocal   // delete the local copy of an object (Delete fan-out)
+
+	// Misc.
+	MethodPing
+)
+
+// Flags for Message.Flags.
+const (
+	FlagResponse uint8 = 1 << iota
+	FlagNotify
+)
+
+// Message is the single concrete frame exchanged on control connections.
+// It is a "fat union": each method uses a subset of the fields. Keeping one
+// concrete struct avoids gob interface registration and keeps decoding
+// allocation-light.
+type Message struct {
+	ID     uint64
+	Flags  uint8
+	Method Method
+
+	OID      types.ObjectID
+	Target   types.ObjectID
+	Sources  []types.ObjectID
+	Node     types.NodeID
+	Sender   types.NodeID
+	Size     int64
+	Offset   int64
+	Num      int64
+	Num2     int64
+	Gen      int64
+	Complete bool
+	Wait     bool
+	Payload  []byte
+	Locs     []types.Location
+	Op       types.ReduceOp
+	Err      string
+}
+
+// ErrorOf converts the message's error string back into an error, mapping
+// the shared sentinel errors to their canonical values so errors.Is works
+// across the wire.
+func (m *Message) ErrorOf() error {
+	switch m.Err {
+	case "":
+		return nil
+	case types.ErrNotFound.Error():
+		return types.ErrNotFound
+	case types.ErrDeleted.Error():
+		return types.ErrDeleted
+	case types.ErrNoSender.Error():
+		return types.ErrNoSender
+	case types.ErrAborted.Error():
+		return types.ErrAborted
+	case types.ErrNodeDown.Error():
+		return types.ErrNodeDown
+	case types.ErrTooFewObjects.Error():
+		return types.ErrTooFewObjects
+	case types.ErrExists.Error():
+		return types.ErrExists
+	case types.ErrClosed.Error():
+		return types.ErrClosed
+	default:
+		return errors.New(m.Err)
+	}
+}
+
+// SetError stores err in the message, if non-nil.
+func (m *Message) SetError(err error) {
+	if err != nil {
+		m.Err = err.Error()
+	}
+}
+
+// Client is a control-plane connection with pipelined calls. Multiple
+// goroutines may Call concurrently; responses are matched by message ID.
+type Client struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	enc  *gob.Encoder
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan Message
+	closed  error
+
+	notify func(Message)
+}
+
+// NewClient wraps an established connection. notify, if non-nil, receives
+// server push messages (FlagNotify) synchronously from the read loop.
+func NewClient(conn net.Conn, notify func(Message)) *Client {
+	bw := bufio.NewWriter(conn)
+	c := &Client{
+		conn:    conn,
+		bw:      bw,
+		enc:     gob.NewEncoder(bw),
+		pending: make(map[uint64]chan Message),
+		notify:  notify,
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	dec := gob.NewDecoder(bufio.NewReader(c.conn))
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			c.fail(fmt.Errorf("wire: connection lost: %w", err))
+			return
+		}
+		if m.Flags&FlagNotify != 0 {
+			if c.notify != nil {
+				c.notify(m)
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[m.ID]
+		if ok {
+			delete(c.pending, m.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closed == nil {
+		c.closed = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan Message)
+	c.mu.Unlock()
+	for id, ch := range pending {
+		var m Message
+		m.ID = id
+		m.SetError(types.ErrNodeDown)
+		ch <- m
+	}
+	c.conn.Close()
+}
+
+// Close tears down the connection. Outstanding calls fail with ErrNodeDown.
+func (c *Client) Close() error {
+	c.fail(types.ErrClosed)
+	return nil
+}
+
+// Call sends m and waits for the matching response or ctx cancellation.
+func (c *Client) Call(ctx context.Context, m Message) (Message, error) {
+	ch := make(chan Message, 1)
+	c.mu.Lock()
+	if c.closed != nil {
+		err := c.closed
+		c.mu.Unlock()
+		return Message{}, err
+	}
+	c.nextID++
+	m.ID = c.nextID
+	c.pending[m.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := c.enc.Encode(&m)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, m.ID)
+		c.mu.Unlock()
+		return Message{}, fmt.Errorf("wire: send: %w", err)
+	}
+
+	select {
+	case resp := <-ch:
+		if e := resp.ErrorOf(); e != nil && (errors.Is(e, types.ErrNodeDown) || errors.Is(e, types.ErrClosed)) && resp.Method == MethodNone {
+			return resp, e
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, m.ID)
+		c.mu.Unlock()
+		return Message{}, ctx.Err()
+	}
+}
+
+// Peer is the server-side view of one client connection. Handlers can hold
+// on to it to push notifications later.
+type Peer struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	enc  *gob.Encoder
+
+	mu      sync.Mutex
+	closed  bool
+	onClose []func()
+}
+
+func (p *Peer) send(m *Message) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if err := p.enc.Encode(m); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// Notify pushes an unsolicited message to the client.
+func (p *Peer) Notify(m Message) error {
+	m.Flags |= FlagNotify
+	return p.send(&m)
+}
+
+// OnClose registers a callback invoked when the connection closes.
+func (p *Peer) OnClose(fn func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		fn()
+		return
+	}
+	p.onClose = append(p.onClose, fn)
+	p.mu.Unlock()
+}
+
+// RemoteAddr returns the peer's network address.
+func (p *Peer) RemoteAddr() net.Addr { return p.conn.RemoteAddr() }
+
+func (p *Peer) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	fns := p.onClose
+	p.onClose = nil
+	p.mu.Unlock()
+	p.conn.Close()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// Handler processes one request. It runs on its own goroutine and may
+// block; ctx is canceled when the connection closes or the server stops.
+type Handler func(ctx context.Context, m Message, p *Peer) Message
+
+// Server accepts control connections and dispatches requests.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu    sync.Mutex
+	peers map[*Peer]struct{}
+	done  chan struct{}
+	once  sync.Once
+}
+
+// NewServer returns a server ready to Serve on ln.
+func NewServer(ln net.Listener, h Handler) *Server {
+	return &Server{ln: ln, handler: h, peers: make(map[*Peer]struct{}), done: make(chan struct{})}
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve accepts connections until Close. It always returns a non-nil error.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return types.ErrClosed
+			default:
+				return err
+			}
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	bw := bufio.NewWriter(conn)
+	peer := &Peer{conn: conn, bw: bw, enc: gob.NewEncoder(bw)}
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		conn.Close()
+		return
+	default:
+	}
+	s.peers[peer] = struct{}{}
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() {
+		cancel()
+		s.mu.Lock()
+		delete(s.peers, peer)
+		s.mu.Unlock()
+		peer.close()
+	}()
+
+	dec := gob.NewDecoder(bufio.NewReader(conn))
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			if err != io.EOF {
+				_ = err // connection reset or node killed; handled by OnClose hooks
+			}
+			return
+		}
+		go func(req Message) {
+			resp := s.handler(ctx, req, peer)
+			resp.ID = req.ID
+			resp.Flags |= FlagResponse
+			if err := peer.send(&resp); err != nil {
+				peer.close()
+			}
+		}(m)
+	}
+}
+
+// Close stops accepting and closes every connection.
+func (s *Server) Close() error {
+	s.once.Do(func() { close(s.done) })
+	err := s.ln.Close()
+	s.mu.Lock()
+	peers := make([]*Peer, 0, len(s.peers))
+	for p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	for _, p := range peers {
+		p.close()
+	}
+	return err
+}
