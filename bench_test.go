@@ -6,13 +6,18 @@ package hoplite_test
 // with cmd/hoplite-bench. See EXPERIMENTS.md for paper-vs-measured notes.
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
+	"net"
 	"os"
 	"testing"
 	"time"
 
 	"hoplite"
 	"hoplite/internal/bench"
+	"hoplite/internal/types"
+	"hoplite/internal/wire"
 )
 
 func benchFigure(b *testing.B, fn func(sc bench.Scale) ([]*bench.Table, error)) {
@@ -91,6 +96,126 @@ func BenchmarkFig15ReduceDegree(b *testing.B) {
 	benchFigure(b, func(sc bench.Scale) ([]*bench.Table, error) {
 		return bench.Figure15(sc, []int64{4 << 10, 4 << 20}, []int{8})
 	})
+}
+
+func BenchmarkCtrlPlaneMicro(b *testing.B) {
+	benchFigure(b, bench.ControlPlaneMicro)
+}
+
+// --- control-plane codec microbenchmarks ---
+
+// ctrlPlaneMessage is a representative directory RPC frame: the shape of
+// a MethodLookup response (size + location list) or a MethodAcquire
+// exchange, the two hottest control-plane messages.
+func ctrlPlaneMessage() wire.Message {
+	return wire.Message{
+		Method: wire.MethodLookup,
+		ID:     12345,
+		Flags:  wire.FlagResponse,
+		OID:    hoplite.ObjectIDFromString("bench-object"),
+		Node:   "10.0.0.1:7777",
+		Sender: "10.0.0.2:7777",
+		Size:   64 << 20,
+		Gen:    3,
+		Locs: []types.Location{
+			{Node: "10.0.0.2:7777", Progress: types.ProgressComplete},
+			{Node: "10.0.0.3:7777", Progress: types.ProgressPartial},
+		},
+	}
+}
+
+// BenchmarkWireRoundTrip measures one encode+decode of a control-plane
+// message through the fixed-layout binary codec. Compare with
+// BenchmarkWireRoundTripGob: the acceptance bar for the codec is ≥3x
+// fewer allocs/op.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	m := ctrlPlaneMessage()
+	var buf []byte
+	var out wire.Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = wire.AppendMessage(buf[:0], &m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := wire.UnmarshalMessage(buf[4:], &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if out.Size != m.Size || len(out.Locs) != len(m.Locs) {
+		b.Fatal("round trip mismatch")
+	}
+}
+
+// BenchmarkWireRoundTripGob is the retained reference: the same message
+// through encoding/gob with a persistent encoder/decoder pair, exactly as
+// the pre-codec control plane ran its connections.
+func BenchmarkWireRoundTripGob(b *testing.B) {
+	m := ctrlPlaneMessage()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	dec := gob.NewDecoder(&buf)
+	var out wire.Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(&m); err != nil {
+			b.Fatal(err)
+		}
+		if err := dec.Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if out.Size != m.Size || len(out.Locs) != len(m.Locs) {
+		b.Fatal("round trip mismatch")
+	}
+}
+
+// benchWireCall measures live RPC round trips (request + matched
+// response) over loopback TCP through the wire client/server.
+func benchWireCall(b *testing.B, req wire.Message, h wire.Handler) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := wire.NewServer(ln, h)
+	go srv.Serve()
+	defer srv.Close()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := wire.NewClient(conn, nil)
+	defer c.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := c.Call(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if e := resp.ErrorOf(); e != nil {
+			b.Fatal(e)
+		}
+	}
+}
+
+func BenchmarkWireCallLookup(b *testing.B) {
+	resp := ctrlPlaneMessage()
+	benchWireCall(b,
+		wire.Message{Method: wire.MethodLookup, OID: resp.OID},
+		func(ctx context.Context, m wire.Message, p *wire.Peer) wire.Message { return resp })
+}
+
+func BenchmarkWireCallAcquire(b *testing.B) {
+	benchWireCall(b,
+		wire.Message{Method: wire.MethodAcquire, OID: hoplite.ObjectIDFromString("bench-object"), Node: "10.0.0.1:7777", Wait: true},
+		func(ctx context.Context, m wire.Message, p *wire.Peer) wire.Message {
+			return wire.Message{Sender: "10.0.0.2:7777", Size: 64 << 20, Gen: 1}
+		})
 }
 
 // --- primitive microbenchmarks (plain loopback TCP, no emulation) ---

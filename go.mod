@@ -1,0 +1,3 @@
+module hoplite
+
+go 1.21

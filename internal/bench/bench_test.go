@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasurementSmoke runs one tiny measurement through each benchmark
+// primitive end-to-end — cluster boot, P2P, Broadcast, Reduce and the
+// control-plane micro — so the benchmark plumbing cannot silently rot
+// between full bench runs.
+func TestMeasurementSmoke(t *testing.T) {
+	sc := QuickScale()
+	size := sc.Size(4 << 20) // above the small-object threshold: real transfers
+
+	he, err := NewHopliteEnv(sc, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer he.Close()
+
+	if d, err := he.P2P(size); err != nil {
+		t.Fatalf("P2P: %v", err)
+	} else if d <= 0 {
+		t.Fatalf("P2P: non-positive duration %v", d)
+	}
+	if d, err := he.Broadcast(size, nil); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	} else if d <= 0 {
+		t.Fatalf("Broadcast: non-positive duration %v", d)
+	}
+	if d, err := he.Reduce(size, nil); err != nil {
+		t.Fatalf("Reduce: %v", err)
+	} else if d <= 0 {
+		t.Fatalf("Reduce: non-positive duration %v", d)
+	}
+	if d, err := he.Gather(size); err != nil {
+		t.Fatalf("Gather: %v", err)
+	} else if d <= 0 {
+		t.Fatalf("Gather: non-positive duration %v", d)
+	}
+}
+
+func TestControlPlaneMicroSmoke(t *testing.T) {
+	tables, err := ControlPlaneMicro(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 2 {
+		t.Fatalf("unexpected table shape: %+v", tables)
+	}
+}
+
+func TestMeshSmoke(t *testing.T) {
+	sc := QuickScale()
+	me, err := NewMeshEnv(sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer me.Close()
+	if _, err := me.MPIP2P(sc.Size(1 << 20)); err != nil {
+		t.Fatalf("MPIP2P: %v", err)
+	}
+}
+
+func TestStaggered(t *testing.T) {
+	got := Staggered(3, 10*time.Millisecond)
+	want := []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Staggered[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

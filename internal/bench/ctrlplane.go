@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"context"
+	"time"
+
+	"hoplite"
+)
+
+// ControlPlaneMicro measures the per-RPC latency of the control-plane hot
+// path on a live emulated cluster: MethodLookup (non-mutating location
+// read) and MethodAcquire/MethodRelease (the sender-lease pair every
+// remote Get executes before it touches the data plane). These are the
+// RPCs the binary wire codec is built for; run with -benchmem via the
+// top-level BenchmarkCtrlPlaneMicro to see the per-op allocation cost.
+func ControlPlaneMicro(sc Scale) ([]*Table, error) {
+	he, err := NewHopliteEnv(sc, 4, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer he.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	const iters = 200
+	// Register iters objects from node 1 so Lookup and Acquire hit
+	// populated directory records with a complete location.
+	dir1, dir2 := he.C.Node(1).Directory(), he.C.Node(2).Directory()
+	oids := make([]hoplite.ObjectID, iters)
+	for i := range oids {
+		oids[i] = hoplite.RandomObjectID()
+		if err := dir1.PutStarted(ctx, oids[i], 1<<20); err != nil {
+			return nil, err
+		}
+		if err := dir1.PutComplete(ctx, oids[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	t0 := time.Now()
+	for _, oid := range oids {
+		if _, err := dir2.Lookup(ctx, oid, false); err != nil {
+			return nil, err
+		}
+	}
+	lookup := time.Since(t0) / iters
+
+	t0 = time.Now()
+	for _, oid := range oids {
+		lease, err := dir2.AcquireSender(ctx, oid, false)
+		if err != nil {
+			return nil, err
+		}
+		if err := dir2.ReleaseSender(ctx, oid, lease.Sender, false); err != nil {
+			return nil, err
+		}
+	}
+	acquire := time.Since(t0) / iters
+
+	t := &Table{
+		Title:   "control plane: directory RPC round-trip latency (binary wire codec)",
+		Columns: []string{"rpc", "latency"},
+		Rows: [][]string{
+			{"Lookup", fmtDur(lookup, nil)},
+			{"Acquire+Release", fmtDur(acquire, nil)},
+		},
+	}
+	return []*Table{t}, nil
+}

@@ -1,9 +1,8 @@
 package core
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
@@ -52,18 +51,77 @@ func pinToShard(base types.ObjectID, slot int, epoch int64, shards int) types.Ob
 	}
 }
 
+// The spec travels in a wire.Message payload using the same fixed-layout
+// binary style as the control-plane codec (internal/wire/codec.go): every
+// field explicit, big-endian, length-checked on decode.
+//
+//	[20] reduce id      [20] own oid      [20] output oid
+//	u32  slot           u64  epoch        u64  size
+//	u8   is-root        u8   op kind      u8   op dtype
+//	u32  children count + count × (u32 slot + [20] oid)
+const specFixedSize = 3*types.ObjectIDSize + 4 + 8 + 8 + 3 + 4
+
 func encodeSpec(s *reduceSpec) ([]byte, error) {
-	var b bytes.Buffer
-	if err := gob.NewEncoder(&b).Encode(s); err != nil {
-		return nil, err
+	if s.Slot < 0 || int64(uint32(s.Slot)) != int64(s.Slot) {
+		return nil, fmt.Errorf("core: reduce slot %d out of range", s.Slot)
 	}
-	return b.Bytes(), nil
+	b := make([]byte, 0, specFixedSize+len(s.Children)*(4+types.ObjectIDSize))
+	b = append(b, s.ReduceID[:]...)
+	b = append(b, s.OwnOID[:]...)
+	b = append(b, s.OutputOID[:]...)
+	b = binary.BigEndian.AppendUint32(b, uint32(s.Slot))
+	b = binary.BigEndian.AppendUint64(b, uint64(s.Epoch))
+	b = binary.BigEndian.AppendUint64(b, uint64(s.Size))
+	var root byte
+	if s.IsRoot {
+		root = 1
+	}
+	b = append(b, root, byte(s.Op.Kind), byte(s.Op.DType))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s.Children)))
+	for _, c := range s.Children {
+		if c.Slot < 0 || int64(uint32(c.Slot)) != int64(c.Slot) {
+			return nil, fmt.Errorf("core: child slot %d out of range", c.Slot)
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(c.Slot))
+		b = append(b, c.OID[:]...)
+	}
+	return b, nil
 }
 
 func decodeSpec(p []byte) (*reduceSpec, error) {
+	if len(p) < specFixedSize {
+		return nil, fmt.Errorf("core: reduce spec truncated: %d bytes", len(p))
+	}
 	var s reduceSpec
-	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&s); err != nil {
-		return nil, err
+	off := 0
+	off += copy(s.ReduceID[:], p[off:])
+	off += copy(s.OwnOID[:], p[off:])
+	off += copy(s.OutputOID[:], p[off:])
+	s.Slot = int(binary.BigEndian.Uint32(p[off:]))
+	off += 4
+	s.Epoch = int64(binary.BigEndian.Uint64(p[off:]))
+	off += 8
+	s.Size = int64(binary.BigEndian.Uint64(p[off:]))
+	off += 8
+	s.IsRoot = p[off] != 0
+	s.Op.Kind = types.OpKind(p[off+1])
+	s.Op.DType = types.DType(p[off+2])
+	off += 3
+	n := int(binary.BigEndian.Uint32(p[off:]))
+	off += 4
+	// Divide rather than multiply: n is attacker-controlled and the
+	// product could overflow int on 32-bit platforms.
+	const childSize = 4 + types.ObjectIDSize
+	if n < 0 || (len(p)-off)%childSize != 0 || n != (len(p)-off)/childSize {
+		return nil, fmt.Errorf("core: reduce spec children length mismatch")
+	}
+	if n > 0 {
+		s.Children = make([]childRef, n)
+		for i := range s.Children {
+			s.Children[i].Slot = int(binary.BigEndian.Uint32(p[off:]))
+			off += 4
+			off += copy(s.Children[i].OID[:], p[off:])
+		}
 	}
 	return &s, nil
 }

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"hoplite/internal/types"
+)
+
+func TestReduceSpecRoundTrip(t *testing.T) {
+	specs := []reduceSpec{
+		{},
+		{
+			ReduceID:  types.ObjectIDFromString("target"),
+			Slot:      3,
+			Epoch:     7,
+			OwnOID:    types.ObjectIDFromString("own"),
+			OutputOID: types.ObjectIDFromString("out"),
+			Children: []childRef{
+				{Slot: 1, OID: types.ObjectIDFromString("c1")},
+				{Slot: 2, OID: types.ObjectIDFromString("c2")},
+			},
+			IsRoot: true,
+			Size:   1 << 30,
+			Op:     types.ReduceOp{Kind: types.Min, DType: types.F64},
+		},
+	}
+	for i := range specs {
+		p, err := encodeSpec(&specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeSpec(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(&specs[i], got) && !(len(specs[i].Children) == 0 && len(got.Children) == 0) {
+			t.Fatalf("spec %d mismatch:\nsent %+v\ngot  %+v", i, specs[i], got)
+		}
+	}
+}
+
+func TestReduceSpecDecodeRejectsCorrupt(t *testing.T) {
+	good, err := encodeSpec(&reduceSpec{Children: []childRef{{Slot: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][]byte{nil, good[:10], good[:len(good)-1], append(append([]byte{}, good...), 1)} {
+		if _, err := decodeSpec(p); err == nil {
+			t.Fatalf("corrupt spec of %d bytes accepted", len(p))
+		}
+	}
+}

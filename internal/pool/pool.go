@@ -1,0 +1,50 @@
+// Package pool provides size-classed, sync.Pool-backed byte buffers shared
+// by the hot paths of the control plane (internal/wire frame scratch) and
+// the data plane (internal/transport chunk buffers). Pooling these buffers
+// removes the dominant per-message and per-chunk allocation from both
+// planes.
+package pool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+const (
+	// minBits is the smallest size class: 1<<minBits bytes.
+	minBits = 6 // 64 B
+	// maxBits is the largest size class: 1<<maxBits bytes. Requests above
+	// this are allocated directly and never pooled.
+	maxBits = 26 // 64 MiB
+)
+
+var classes [maxBits - minBits + 1]sync.Pool
+
+// Get returns a buffer with len(b) == n from the smallest fitting size
+// class. The contents are arbitrary: callers must overwrite before reading.
+func Get(n int) []byte {
+	var c int
+	if n > 1<<minBits {
+		c = bits.Len(uint(n-1)) - minBits // ceil(log2(n)) - minBits
+		if c >= len(classes) {
+			return make([]byte, n)
+		}
+	}
+	if v := classes[c].Get(); v != nil {
+		return (*v.(*[]byte))[:n]
+	}
+	return make([]byte, n, 1<<(c+minBits))
+}
+
+// Put returns a buffer obtained from Get to its size class. The caller
+// must not use b after Put. Buffers whose capacity is not exactly a class
+// size (e.g. not allocated by Get) are dropped rather than pooled, so a
+// class never shrinks over time.
+func Put(b []byte) {
+	c := cap(b)
+	if c < 1<<minBits || c > 1<<maxBits || c&(c-1) != 0 {
+		return
+	}
+	b = b[:c]
+	classes[bits.Len(uint(c))-1-minBits].Put(&b)
+}

@@ -1,0 +1,51 @@
+package pool
+
+import "testing"
+
+func TestGetLenAndClassCap(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 1 << 10, (1 << 10) + 1, 1 << 20, 1 << 26} {
+		b := Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d): len %d", n, len(b))
+		}
+		if c := cap(b); c&(c-1) != 0 || c < len(b) {
+			t.Fatalf("Get(%d): cap %d not a class size", n, c)
+		}
+		Put(b)
+	}
+}
+
+func TestGetOversizedNotPooled(t *testing.T) {
+	n := (1 << 26) + 1
+	b := Get(n)
+	if len(b) != n {
+		t.Fatalf("len %d", len(b))
+	}
+	Put(b) // must be a no-op, not a panic
+}
+
+func TestPutForeignBufferDropped(t *testing.T) {
+	Put(make([]byte, 100, 100)) // non-class capacity: dropped
+	Put(nil)
+	Put(make([]byte, 10))
+}
+
+func TestReuse(t *testing.T) {
+	b := Get(128)
+	b[0] = 42
+	Put(b)
+	// sync.Pool gives no reuse guarantee, but the round trip must at
+	// least produce a valid buffer of the requested length.
+	c := Get(128)
+	if len(c) != 128 {
+		t.Fatalf("len %d", len(c))
+	}
+	Put(c)
+}
+
+func BenchmarkGetPut64K(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Put(Get(64 << 10))
+	}
+}

@@ -18,15 +18,26 @@ import (
 	"sync"
 
 	"hoplite/internal/buffer"
+	"hoplite/internal/pool"
 	"hoplite/internal/types"
 )
 
-// Wire constants.
+// Wire constants. Every sender→receiver frame opens with a dedicated
+// status byte, so a size header, a data chunk, end-of-stream and an error
+// frame can never be confused — there is no sentinel value a genuine
+// length could collide with.
 const (
 	reqPull byte = 0x70 // 'p'
 
-	chunkEOF uint32 = 0
-	chunkErr uint32 = 0xFFFFFFFF
+	frameSize  byte = 0x01 // + u64 object size
+	frameChunk byte = 0x02 // + u32 length + bytes
+	frameEOF   byte = 0x03 // stream complete
+	frameErr   byte = 0x04 // + u32 length + error text
+
+	// maxChunkSize caps a single data chunk, and maxErrSize a single
+	// error message, so a corrupt length can't force a huge allocation.
+	maxChunkSize = 64 << 20
+	maxErrSize   = 64 << 10
 
 	// DefaultChunkSize is the wire chunk granularity. The paper's
 	// pipelining block is 4 MB (§5.1.1); smaller wire chunks inside that
@@ -59,6 +70,10 @@ type Server struct {
 func NewServer(ln net.Listener, get Getter, chunkSize int, onFail SendFailFunc) *Server {
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
+	}
+	if chunkSize > maxChunkSize {
+		// Receivers reject frames over maxChunkSize; never emit them.
+		chunkSize = maxChunkSize
 	}
 	if onFail == nil {
 		onFail = func(types.ObjectID, types.NodeID) {}
@@ -158,19 +173,20 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func writeChunkHeader(w io.Writer, n uint32) error {
-	var b [4]byte
-	binary.BigEndian.PutUint32(b[:], n)
+func writeFrameHeader(w io.Writer, status byte, n uint32) error {
+	var b [5]byte
+	b[0] = status
+	binary.BigEndian.PutUint32(b[1:], n)
 	_, err := w.Write(b[:])
 	return err
 }
 
 func writeError(w *bufio.Writer, err error) error {
 	msg := err.Error()
-	if e := writeChunkHeader(w, chunkErr); e != nil {
-		return e
+	if len(msg) > maxErrSize {
+		msg = msg[:maxErrSize]
 	}
-	if e := writeChunkHeader(w, uint32(len(msg))); e != nil {
+	if e := writeFrameHeader(w, frameErr, uint32(len(msg))); e != nil {
 		return e
 	}
 	if _, e := w.WriteString(msg); e != nil {
@@ -180,15 +196,21 @@ func writeError(w *bufio.Writer, err error) error {
 }
 
 // servePull streams one object. sentEOF reports whether the full stream
-// (terminated by the EOF chunk) was handed to the writer.
+// (terminated by the EOF frame) was handed to the writer.
 func (s *Server) servePull(ctx context.Context, bw *bufio.Writer, oid types.ObjectID, offset int64) (sentEOF bool, err error) {
 	buf, err := s.get(ctx, oid)
 	if err != nil {
 		return false, writeError(bw, err)
 	}
-	// Size header first so the receiver can allocate.
-	var szb [8]byte
-	binary.BigEndian.PutUint64(szb[:], uint64(buf.Size()))
+	// The offset comes off the wire: validate it before it can index the
+	// buffer (a negative or past-end value would panic the send loop).
+	if offset < 0 || offset > buf.Size() {
+		return false, writeError(bw, fmt.Errorf("pull offset %d out of range [0,%d]", offset, buf.Size()))
+	}
+	// Size frame first so the receiver can allocate.
+	var szb [9]byte
+	szb[0] = frameSize
+	binary.BigEndian.PutUint64(szb[1:], uint64(buf.Size()))
 	if _, err := bw.Write(szb[:]); err != nil {
 		return false, err
 	}
@@ -204,7 +226,7 @@ func (s *Server) servePull(ctx context.Context, bw *bufio.Writer, oid types.Obje
 			if end > wm {
 				end = wm
 			}
-			if err := writeChunkHeader(bw, uint32(end-off)); err != nil {
+			if err := writeFrameHeader(bw, frameChunk, uint32(end-off)); err != nil {
 				return false, err
 			}
 			if _, err := bw.Write(data[off:end]); err != nil {
@@ -218,7 +240,10 @@ func (s *Server) servePull(ctx context.Context, bw *bufio.Writer, oid types.Obje
 			return false, err
 		}
 	}
-	return true, writeChunkHeader(bw, chunkEOF)
+	if _, err := bw.Write([]byte{frameEOF}); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // Close stops the server and closes every data connection.
@@ -286,53 +311,64 @@ func Pull(ctx context.Context, dial DialFunc, self types.NodeID, oid types.Objec
 	}
 
 	br := bufio.NewReaderSize(conn, 64<<10)
+	// The first frame is either the size header or an error frame; the
+	// status byte disambiguates, so no length value can be mistaken for
+	// an error sentinel (or vice versa).
+	status, err := br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("transport: read size frame: %w", err)
+	}
+	switch status {
+	case frameErr:
+		return readErrorFrame(br)
+	case frameSize:
+	default:
+		return fmt.Errorf("transport: unexpected frame 0x%02x, want size", status)
+	}
 	var szb [8]byte
 	if _, err := io.ReadFull(br, szb[:]); err != nil {
 		return fmt.Errorf("transport: read size: %w", err)
 	}
 	size := int64(binary.BigEndian.Uint64(szb[:]))
-	// An error frame can arrive instead of a size header; sizes are never
-	// large enough to collide with the error sentinel in practice, but a
-	// dedicated check keeps the protocol honest.
 	if size != dst.Size() {
-		// Distinguish "error frame" from genuine size mismatch.
-		if uint32(size>>32) == chunkErr {
-			return fmt.Errorf("transport: sender error: %w", types.ErrAborted)
-		}
 		return fmt.Errorf("transport: size mismatch: sender %d, local %d", size, dst.Size())
 	}
 
 	got := offset
-	chunk := make([]byte, DefaultChunkSize)
+	chunk := pool.Get(DefaultChunkSize)
+	defer func() { pool.Put(chunk) }()
 	for {
-		var hb [4]byte
-		if _, err := io.ReadFull(br, hb[:]); err != nil {
-			return fmt.Errorf("transport: read chunk header: %w", err)
+		status, err := br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("transport: read frame header: %w", err)
 		}
-		n := binary.BigEndian.Uint32(hb[:])
-		switch n {
-		case chunkEOF:
+		switch status {
+		case frameEOF:
 			if got != size {
 				return fmt.Errorf("transport: short stream: %d of %d bytes", got, size)
 			}
 			dst.Seal()
 			return nil
-		case chunkErr:
+		case frameErr:
+			return readErrorFrame(br)
+		case frameChunk:
+			var hb [4]byte
 			if _, err := io.ReadFull(br, hb[:]); err != nil {
-				return fmt.Errorf("transport: read error frame: %w", err)
+				return fmt.Errorf("transport: read chunk header: %w", err)
 			}
-			msgLen := binary.BigEndian.Uint32(hb[:])
-			msg := make([]byte, msgLen)
-			if _, err := io.ReadFull(br, msg); err != nil {
-				return fmt.Errorf("transport: read error frame: %w", err)
+			n := binary.BigEndian.Uint32(hb[:])
+			if n > maxChunkSize {
+				return fmt.Errorf("transport: chunk of %d bytes exceeds limit", n)
 			}
-			if string(msg) == types.ErrDeleted.Error() {
-				return types.ErrDeleted
+			if n == 0 {
+				// The sender never emits empty chunks; accepting them
+				// would let a misbehaving peer spin the receiver forever
+				// without watermark progress.
+				return errors.New("transport: zero-length chunk")
 			}
-			return fmt.Errorf("transport: sender: %s: %w", msg, types.ErrAborted)
-		default:
 			if int(n) > len(chunk) {
-				chunk = make([]byte, n)
+				pool.Put(chunk)
+				chunk = pool.Get(int(n))
 			}
 			if _, err := io.ReadFull(br, chunk[:n]); err != nil {
 				return fmt.Errorf("transport: read chunk: %w", err)
@@ -344,6 +380,29 @@ func Pull(ctx context.Context, dial DialFunc, self types.NodeID, oid types.Objec
 				return err
 			}
 			got += int64(n)
+		default:
+			return fmt.Errorf("transport: unexpected frame 0x%02x", status)
 		}
 	}
+}
+
+// readErrorFrame consumes an error frame body (after its status byte) and
+// converts it into the sender's error.
+func readErrorFrame(br *bufio.Reader) error {
+	var hb [4]byte
+	if _, err := io.ReadFull(br, hb[:]); err != nil {
+		return fmt.Errorf("transport: read error frame: %w", err)
+	}
+	msgLen := binary.BigEndian.Uint32(hb[:])
+	if msgLen > maxErrSize {
+		return fmt.Errorf("transport: error frame of %d bytes exceeds limit", msgLen)
+	}
+	msg := make([]byte, msgLen)
+	if _, err := io.ReadFull(br, msg); err != nil {
+		return fmt.Errorf("transport: read error frame: %w", err)
+	}
+	if string(msg) == types.ErrDeleted.Error() {
+		return types.ErrDeleted
+	}
+	return fmt.Errorf("transport: sender: %s: %w", msg, types.ErrAborted)
 }

@@ -3,7 +3,9 @@ package transport
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
+	"io"
 	"net"
 	"sync"
 	"testing"
@@ -263,6 +265,125 @@ func TestZeroSizeObject(t *testing.T) {
 	}
 	if !dst.Complete() {
 		t.Fatal("empty object not complete")
+	}
+}
+
+// pullRequest encodes the receiver's request frame for raw-socket tests.
+func pullRequest(oid types.ObjectID, offset int64, receiver string) []byte {
+	req := []byte{reqPull}
+	req = append(req, oid[:]...)
+	req = binary.BigEndian.AppendUint64(req, uint64(offset))
+	req = binary.BigEndian.AppendUint16(req, uint16(len(receiver)))
+	return append(req, receiver...)
+}
+
+// The first frame of a successful pull must be a size frame with a
+// dedicated status byte — not a bare length a reader has to guess about.
+func TestWireFormatSizeFrame(t *testing.T) {
+	f := startFixture(t)
+	oid := types.ObjectIDFromString("x")
+	data := payload(100)
+	f.add(oid, buffer.FromBytes(data))
+	conn, err := net.Dial("tcp", f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(pullRequest(oid, 0, "r")); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [9]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if hdr[0] != frameSize {
+		t.Fatalf("first status byte 0x%02x, want size 0x%02x", hdr[0], frameSize)
+	}
+	if got := binary.BigEndian.Uint64(hdr[1:]); got != uint64(len(data)) {
+		t.Fatalf("size %d, want %d", got, len(data))
+	}
+}
+
+// A failed pull must open with an error frame, again tagged by its status
+// byte, even when the error text's length bytes could look like a size.
+func TestWireFormatErrorFrame(t *testing.T) {
+	f := startFixture(t)
+	conn, err := net.Dial("tcp", f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(pullRequest(types.ObjectIDFromString("missing"), 0, "r")); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if hdr[0] != frameErr {
+		t.Fatalf("first status byte 0x%02x, want error 0x%02x", hdr[0], frameErr)
+	}
+	msg := make([]byte, binary.BigEndian.Uint32(hdr[1:]))
+	if _, err := io.ReadFull(conn, msg); err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != types.ErrNotFound.Error() {
+		t.Fatalf("error text %q", msg)
+	}
+}
+
+// A hostile pull offset (u64 with the top bit set decodes to a negative
+// int64) must get an error frame, not panic the sender's stream loop.
+func TestWireFormatHostileOffsetRejected(t *testing.T) {
+	f := startFixture(t)
+	oid := types.ObjectIDFromString("x")
+	f.add(oid, buffer.FromBytes(payload(100)))
+	conn, err := net.Dial("tcp", f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(pullRequest(oid, -1, "r")); err != nil {
+		t.Fatal(err)
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(conn, status[:]); err != nil {
+		t.Fatal(err)
+	}
+	if status[0] != frameErr {
+		t.Fatalf("status 0x%02x, want error frame", status[0])
+	}
+	// The server must still be alive and serving afterwards.
+	dst := buffer.New(100)
+	if err := Pull(context.Background(), dialTo(f.addr), "r", oid, 0, dst); err != nil {
+		t.Fatalf("server died after hostile offset: %v", err)
+	}
+}
+
+// A receiver facing a sender that speaks garbage must fail cleanly and
+// keep dst resumable.
+func TestPullRejectsUnknownFrame(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(io.Discard, io.LimitReader(conn, int64(1+types.ObjectIDSize+8+2+1)))
+		conn.Write([]byte{0x7F, 0, 0, 0, 0, 0, 0, 0, 0}) // bogus status byte
+	}()
+	dst := buffer.New(100)
+	err = Pull(context.Background(), dialTo(ln.Addr().String()), "r", types.ObjectIDFromString("x"), 0, dst)
+	if err == nil {
+		t.Fatal("garbage frame accepted")
+	}
+	if dst.Failed() != nil {
+		t.Fatal("dst failed; must stay resumable")
 	}
 }
 

@@ -1,14 +1,16 @@
 // Package wire implements the control-plane RPC used by Hoplite's object
-// directory service and reduce coordination: length-delimited gob messages
-// over TCP with pipelined request/response matching and server→client push
-// notifications. The paper uses gRPC for this role (§4); wire provides the
-// same semantics with only the standard library.
+// directory service and reduce coordination: length-delimited fixed-layout
+// binary messages (see codec.go) over TCP with pipelined request/response
+// matching and server→client push notifications. The paper uses gRPC for
+// this role (§4); wire provides the same semantics with only the standard
+// library, and the hand-rolled codec keeps the per-message cost to a
+// pooled scratch buffer instead of a reflective, allocation-heavy
+// serializer.
 package wire
 
 import (
 	"bufio"
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -59,8 +61,8 @@ const (
 
 // Message is the single concrete frame exchanged on control connections.
 // It is a "fat union": each method uses a subset of the fields. Keeping one
-// concrete struct avoids gob interface registration and keeps decoding
-// allocation-light.
+// concrete struct gives the codec a fixed layout to encode against and
+// keeps decoding allocation-light.
 type Message struct {
 	ID     uint64
 	Flags  uint8
@@ -125,7 +127,6 @@ type Client struct {
 	conn net.Conn
 	wmu  sync.Mutex
 	bw   *bufio.Writer
-	enc  *gob.Encoder
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -138,11 +139,9 @@ type Client struct {
 // NewClient wraps an established connection. notify, if non-nil, receives
 // server push messages (FlagNotify) synchronously from the read loop.
 func NewClient(conn net.Conn, notify func(Message)) *Client {
-	bw := bufio.NewWriter(conn)
 	c := &Client{
 		conn:    conn,
-		bw:      bw,
-		enc:     gob.NewEncoder(bw),
+		bw:      bufio.NewWriter(conn),
 		pending: make(map[uint64]chan Message),
 		notify:  notify,
 	}
@@ -151,10 +150,10 @@ func NewClient(conn net.Conn, notify func(Message)) *Client {
 }
 
 func (c *Client) readLoop() {
-	dec := gob.NewDecoder(bufio.NewReader(c.conn))
+	br := bufio.NewReader(c.conn)
 	for {
 		var m Message
-		if err := dec.Decode(&m); err != nil {
+		if err := readMessage(br, &m); err != nil {
 			c.fail(fmt.Errorf("wire: connection lost: %w", err))
 			return
 		}
@@ -214,7 +213,7 @@ func (c *Client) Call(ctx context.Context, m Message) (Message, error) {
 	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err := c.enc.Encode(&m)
+	err := writeMessage(c.bw, &m)
 	if err == nil {
 		err = c.bw.Flush()
 	}
@@ -246,7 +245,6 @@ type Peer struct {
 	conn net.Conn
 	wmu  sync.Mutex
 	bw   *bufio.Writer
-	enc  *gob.Encoder
 
 	mu      sync.Mutex
 	closed  bool
@@ -256,7 +254,7 @@ type Peer struct {
 func (p *Peer) send(m *Message) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
-	if err := p.enc.Encode(m); err != nil {
+	if err := writeMessage(p.bw, m); err != nil {
 		return err
 	}
 	return p.bw.Flush()
@@ -339,8 +337,7 @@ func (s *Server) Serve() error {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
-	bw := bufio.NewWriter(conn)
-	peer := &Peer{conn: conn, bw: bw, enc: gob.NewEncoder(bw)}
+	peer := &Peer{conn: conn, bw: bufio.NewWriter(conn)}
 	s.mu.Lock()
 	select {
 	case <-s.done:
@@ -361,10 +358,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		peer.close()
 	}()
 
-	dec := gob.NewDecoder(bufio.NewReader(conn))
+	br := bufio.NewReader(conn)
 	for {
 		var m Message
-		if err := dec.Decode(&m); err != nil {
+		if err := readMessage(br, &m); err != nil {
 			if err != io.EOF {
 				_ = err // connection reset or node killed; handled by OnClose hooks
 			}
