@@ -81,6 +81,54 @@ func TestBroadcastSenderFailure(t *testing.T) {
 	}
 }
 
+// TestStripedGetSenderFailure kills one of a striped Get's senders
+// mid-transfer. The dead worker returns its unwritten chunks to the
+// ledger, so the surviving senders re-fetch exactly the missing ranges —
+// the Get must complete with exact bytes and without restarting from the
+// lowest contiguous offset.
+func TestStripedGetSenderFailure(t *testing.T) {
+	ctx := testCtx(t)
+	c := startCluster(t, 4, Options{Emulate: slowEmu(), StripeThreshold: 1 << 20, MaxSources: 3})
+	data := payload(16<<20, 13)
+	oid := oidOnShard(t, "stripefail", c.Size(), 0)
+	if err := c.Node(0).Put(ctx, oid, data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Warm complete copies on nodes 1 and 2 so the striped Get leases
+	// three senders.
+	for i := 1; i <= 2; i++ {
+		if err := c.Node(i).WaitLocal(ctx, oid); err != nil {
+			t.Fatalf("warm node%d: %v", i, err)
+		}
+	}
+	waitComplete(t, ctx, c, 0, oid, 3)
+	before := []int64{c.Node(0).DataStats().RangedPulls, 0, c.Node(2).DataStats().RangedPulls}
+	done := make(chan error, 1)
+	var got []byte
+	go func() {
+		var err error
+		got, err = c.Node(3).Get(ctx, oid)
+		done <- err
+	}()
+	// 16 MB at 32 MB/s receiver ingress takes ~500 ms; kill a sender once
+	// the stripes are in flight.
+	time.Sleep(120 * time.Millisecond)
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("striped Get after sender failure: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("striped Get payload mismatch after sender failure")
+	}
+	// The surviving senders carried the stripes (including any ranges the
+	// dead sender returned to the ledger).
+	if c.Node(0).DataStats().RangedPulls <= before[0] || c.Node(2).DataStats().RangedPulls <= before[2] {
+		t.Fatal("surviving senders served no ranged pulls")
+	}
+}
+
 // TestReduceParticipantFailure kills a reduce participant mid-stream; the
 // coordinator must drop it, replace the slot with the spare source, and
 // produce the fold of exactly the used sources (§3.5.2, Figure 5b).

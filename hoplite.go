@@ -94,6 +94,13 @@ type Options struct {
 	SmallObject int64
 	// StoreCapacity bounds each node's store; 0 = unlimited.
 	StoreCapacity int64
+	// StripeThreshold is the minimum object size for which a Get stripes
+	// ranged pulls across multiple complete copies (0 = default, negative
+	// disables striping).
+	StripeThreshold int64
+	// MaxSources caps the number of senders a striped Get pulls from
+	// concurrently (0 = default, 1 disables striping).
+	MaxSources int
 	// ReduceDegree forces the reduce tree degree (0 = automatic).
 	ReduceDegree int
 	// ShardNodes limits directory shards to the first k nodes (0 = every
@@ -173,6 +180,8 @@ func StartLocalCluster(n int, opts Options) (*Cluster, error) {
 			SmallObject:     opts.SmallObject,
 			PipelineBlock:   opts.PipelineBlock,
 			StoreCapacity:   opts.StoreCapacity,
+			StripeThreshold: opts.StripeThreshold,
+			MaxSources:      opts.MaxSources,
 			Latency:         opts.Latency,
 			Bandwidth:       opts.Bandwidth,
 			ReduceDegree:    opts.ReduceDegree,
@@ -198,6 +207,16 @@ func (c *Cluster) Size() int { return len(c.nodes) }
 // Emulated returns the emulated fabric (nil when running plain TCP); use
 // it for fault injection: cluster.Emulated().Kill("node-3").
 func (c *Cluster) Emulated() *netem.Emulated { return c.em }
+
+// SetNodeLink re-shapes node i's bandwidth at runtime (emulated fabric
+// only); see netem.Emulated.SetNodeLink.
+func (c *Cluster) SetNodeLink(i int, cfg netem.LinkConfig) error {
+	if c.em == nil {
+		return fmt.Errorf("hoplite: SetNodeLink requires an emulated fabric")
+	}
+	c.em.SetNodeLink(fmt.Sprintf("node-%d", i), cfg)
+	return nil
+}
 
 // KillNode abruptly disconnects node i (emulated fabric only): all of its
 // sockets break, which is how peers detect the failure.
@@ -232,6 +251,8 @@ func (c *Cluster) RestartNode(i int) error {
 		SmallObject:     c.opts.SmallObject,
 		PipelineBlock:   c.opts.PipelineBlock,
 		StoreCapacity:   c.opts.StoreCapacity,
+		StripeThreshold: c.opts.StripeThreshold,
+		MaxSources:      c.opts.MaxSources,
 		Latency:         c.opts.Latency,
 		Bandwidth:       c.opts.Bandwidth,
 		ReduceDegree:    c.opts.ReduceDegree,

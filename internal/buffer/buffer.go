@@ -1,11 +1,16 @@
 // Package buffer implements the progress-tracked object buffer that
 // underpins Hoplite's fine-grained pipelining (§3.3 of the paper).
 //
-// A Buffer holds the payload of one immutable object. Exactly one writer
-// appends bytes sequentially, advancing a watermark; any number of readers
-// stream concurrently, blocking until the bytes they need are available.
-// This lets an object that is still being produced — by a local Put copy, a
-// network transfer, or a streaming reduce — simultaneously feed downstream
+// A Buffer holds the payload of one immutable object as a chunk ledger: a
+// fixed grid of chunks, each tracking how many contiguous bytes it holds.
+// Several writers may fill disjoint ranges concurrently — the claim ledger
+// (ClaimNext/ReleaseClaim) hands out exclusive runs of missing chunks, which
+// is how a striped Get pulls one object from several complete copies at
+// once. A contiguous watermark is derived from the grid, so readers keep the
+// single-writer streaming semantics: any number of readers stream
+// concurrently, blocking until the prefix they need is available. This lets
+// an object that is still being produced — by a local Put copy, a network
+// transfer, or a streaming reduce — simultaneously feed downstream
 // transfers, which is how a partial copy acts as a broadcast intermediary
 // or a reduce input.
 package buffer
@@ -18,47 +23,114 @@ import (
 	"hoplite/internal/types"
 )
 
-// Buffer is a fixed-size object payload with a monotonically advancing
-// watermark. The zero value is not usable; call New.
+// DefaultLedgerChunk is the default chunk-grid granularity. It matches the
+// paper's 4 MB pipelining block (§5.1.1): claims, and therefore striped
+// sub-range pulls, are handed out in units of this size.
+const DefaultLedgerChunk = 4 << 20
+
+// Buffer is a fixed-size object payload tracked chunk by chunk. The zero
+// value is not usable; call New or NewChunked.
 type Buffer struct {
-	mu        sync.Mutex
-	updated   chan struct{} // closed and replaced on every state change
-	data      []byte
+	mu      sync.Mutex
+	updated chan struct{} // closed and replaced on every state change
+	data    []byte
+	chunk   int64
+	// fill[i] is the number of contiguous bytes written from chunk i's
+	// start. A chunk is present when fill[i] == chunkLen(i). Every writer
+	// streams sequentially from a position it owns, so per-chunk contiguous
+	// fill describes both the classic single Append writer (whose range is
+	// the whole object) and striped range writers (whose ranges start at
+	// missing-byte boundaries).
+	fill []int64
+	// claimed[i] marks chunk i as handed to an exclusive writer via
+	// ClaimNext. Full chunks stay claimed (harmless); failed writers return
+	// their unwritten chunks with ReleaseClaim so the missing ranges — and
+	// only those — can be re-fetched from another source.
+	claimed []bool
+	// wmChunk/watermark are derived: wmChunk is the first non-full chunk
+	// and watermark the contiguous byte prefix present from offset 0.
+	wmChunk   int
 	watermark int64
+	present   int64 // total bytes written, contiguous or not
 	sealed    bool
 	err       error
 }
 
-// New returns an empty buffer for an object of the given size.
-func New(size int64) *Buffer {
+// New returns an empty buffer for an object of the given size, using the
+// default ledger chunk.
+func New(size int64) *Buffer { return NewChunked(size, DefaultLedgerChunk) }
+
+// NewChunked returns an empty buffer with an explicit chunk-grid
+// granularity (tests and tuning; chunk <= 0 selects the default).
+func NewChunked(size, chunk int64) *Buffer {
 	if size < 0 {
 		panic("buffer: negative size")
 	}
+	if chunk <= 0 {
+		chunk = DefaultLedgerChunk
+	}
+	n := int((size + chunk - 1) / chunk)
 	return &Buffer{
 		updated: make(chan struct{}),
 		data:    make([]byte, size),
+		chunk:   chunk,
+		fill:    make([]int64, n),
+		claimed: make([]bool, n),
 	}
 }
 
 // FromBytes returns a sealed buffer wrapping b without copying.
 func FromBytes(b []byte) *Buffer {
+	size := int64(len(b))
+	chunk := int64(DefaultLedgerChunk)
+	n := int((size + chunk - 1) / chunk)
 	buf := &Buffer{
 		updated:   make(chan struct{}),
 		data:      b,
-		watermark: int64(len(b)),
+		chunk:     chunk,
+		fill:      make([]int64, n),
+		claimed:   make([]bool, n),
+		wmChunk:   n,
+		watermark: size,
+		present:   size,
 		sealed:    true,
 	}
+	for i := range buf.fill {
+		buf.fill[i] = buf.chunkLen(i)
+	}
 	return buf
+}
+
+// chunkLen returns the byte length of chunk i (the last chunk may be
+// short).
+func (b *Buffer) chunkLen(i int) int64 {
+	cl := int64(len(b.data)) - int64(i)*b.chunk
+	if cl > b.chunk {
+		cl = b.chunk
+	}
+	return cl
 }
 
 // Size returns the total object size.
 func (b *Buffer) Size() int64 { return int64(len(b.data)) }
 
-// Watermark returns the number of contiguous bytes written so far.
+// ChunkSize returns the ledger chunk granularity.
+func (b *Buffer) ChunkSize() int64 { return b.chunk }
+
+// Watermark returns the number of contiguous bytes present from offset 0.
 func (b *Buffer) Watermark() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.watermark
+}
+
+// Present returns the total number of bytes written so far, contiguous or
+// not. Present == Size means every chunk is full even if the buffer has
+// not been sealed yet.
+func (b *Buffer) Present() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.present
 }
 
 // Complete reports whether the buffer has been sealed with all bytes
@@ -81,6 +153,48 @@ func (b *Buffer) signalLocked() {
 	b.updated = make(chan struct{})
 }
 
+// advanceLocked re-derives the contiguous watermark from the chunk grid.
+// The cursor only moves forward, so the amortized cost over a buffer's
+// lifetime is O(chunks).
+func (b *Buffer) advanceLocked() {
+	n := len(b.fill)
+	for b.wmChunk < n && b.fill[b.wmChunk] == b.chunkLen(b.wmChunk) {
+		b.wmChunk++
+	}
+	wm := int64(b.wmChunk) * b.chunk
+	if b.wmChunk < n {
+		wm += b.fill[b.wmChunk]
+	} else if wm > int64(len(b.data)) {
+		wm = int64(len(b.data))
+	}
+	b.watermark = wm
+}
+
+// writeLocked copies p at off and updates the ledger. Callers have
+// validated bounds; each touched chunk's contiguous fill must be extended
+// exactly (writer discipline, enforced by panic as a bug check).
+func (b *Buffer) writeLocked(p []byte, off int64) {
+	pos, rem := off, p
+	for len(rem) > 0 {
+		ci := int(pos / b.chunk)
+		cs := int64(ci) * b.chunk
+		if pos-cs != b.fill[ci] {
+			panic("buffer: write does not extend chunk fill")
+		}
+		n := cs + b.chunkLen(ci) - pos
+		if n > int64(len(rem)) {
+			n = int64(len(rem))
+		}
+		copy(b.data[pos:], rem[:n])
+		b.fill[ci] += n
+		pos += n
+		rem = rem[n:]
+	}
+	b.present += int64(len(p))
+	b.advanceLocked()
+	b.signalLocked()
+}
+
 // Append writes p at the current watermark. It returns types.ErrAborted if
 // the buffer failed, and panics if the write would exceed the object size
 // or the buffer is already sealed (writer bugs, not runtime conditions).
@@ -99,13 +213,106 @@ func (b *Buffer) Append(p []byte) error {
 	if b.watermark+int64(len(p)) > int64(len(b.data)) {
 		panic("buffer: append past end of object")
 	}
-	copy(b.data[b.watermark:], p)
-	b.watermark += int64(len(p))
-	b.signalLocked()
+	b.writeLocked(p, b.watermark)
 	return nil
 }
 
-// Seal marks the buffer complete. All bytes must have been appended.
+// WriteAt writes p at off, for writers filling a claimed range. Writers
+// stream sequentially within their range, so off must sit exactly at the
+// fill position of its chunk and any further chunks covered by p must be
+// empty; violations panic (writer bugs). Concurrent WriteAt calls on
+// disjoint claimed ranges are safe. It returns the buffer's error if it
+// has failed.
+func (b *Buffer) WriteAt(p []byte, off int64) error {
+	if len(p) == 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return b.err
+	}
+	if b.sealed {
+		panic("buffer: write to sealed buffer")
+	}
+	if off < 0 || off+int64(len(p)) > int64(len(b.data)) {
+		panic("buffer: write past end of object")
+	}
+	b.writeLocked(p, off)
+	return nil
+}
+
+// ClaimNext claims the next run of missing, unclaimed bytes for an
+// exclusive writer, spanning whole chunks up to roughly max bytes. The
+// returned offset starts at the first missing byte (resuming mid-chunk
+// when a previous writer left a partial fill). ok is false when there is
+// nothing left to claim: every byte is present or claimed by another
+// writer, or the buffer is sealed or failed.
+func (b *Buffer) ClaimNext(max int64) (off, length int64, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil || b.sealed {
+		return 0, 0, false
+	}
+	if max <= 0 {
+		max = b.chunk
+	}
+	n := len(b.fill)
+	start := -1
+	for i := b.wmChunk; i < n; i++ {
+		if !b.claimed[i] && b.fill[i] < b.chunkLen(i) {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return 0, 0, false
+	}
+	off = int64(start)*b.chunk + b.fill[start]
+	var span int64
+	end := start
+	for end < n && !b.claimed[end] && span < max {
+		if end > start && b.fill[end] != 0 {
+			// A later partially-filled or full chunk starts its own run:
+			// a sequential writer could not extend its fill from here.
+			break
+		}
+		b.claimed[end] = true
+		span += b.chunkLen(end)
+		end++
+	}
+	length = int64(end) * b.chunk
+	if length > int64(len(b.data)) {
+		length = int64(len(b.data))
+	}
+	length -= off
+	return off, length, true
+}
+
+// ReleaseClaim returns the unwritten chunks of a claimed range
+// [off, off+length) to the ledger after a failed transfer, so other
+// writers can re-claim exactly the missing bytes. Chunks of the range that
+// were fully written stay present.
+func (b *Buffer) ReleaseClaim(off, length int64) {
+	if length <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	first := int(off / b.chunk)
+	last := int((off + length - 1) / b.chunk)
+	if last >= len(b.fill) {
+		last = len(b.fill) - 1
+	}
+	for i := first; i <= last; i++ {
+		if b.fill[i] < b.chunkLen(i) {
+			b.claimed[i] = false
+		}
+	}
+	b.signalLocked()
+}
+
+// Seal marks the buffer complete. All bytes must have been written.
 func (b *Buffer) Seal() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -137,23 +344,38 @@ func (b *Buffer) Fail(err error) {
 
 // Reset rewinds a failed buffer so a new writer can retry from offset,
 // keeping the first offset bytes that were already received. It is used
-// when a transfer resumes from a different sender after a failure. Reset
-// panics if offset exceeds the current watermark.
+// when a transfer restarts under a new object generation after a failure.
+// All claims are dropped, as is any non-contiguous striped progress beyond
+// offset. Reset panics if offset exceeds the current watermark.
 func (b *Buffer) Reset(offset int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if offset > b.watermark || offset < 0 {
 		panic("buffer: reset past watermark")
 	}
-	b.watermark = offset
+	for i := range b.fill {
+		cs := int64(i) * b.chunk
+		switch {
+		case cs+b.chunkLen(i) <= offset:
+			b.fill[i] = b.chunkLen(i)
+		case cs < offset:
+			b.fill[i] = offset - cs
+		default:
+			b.fill[i] = 0
+		}
+		b.claimed[i] = false
+	}
+	b.wmChunk = 0
+	b.advanceLocked()
+	b.present = offset
 	b.sealed = false
 	b.err = nil
 	b.signalLocked()
 }
 
-// WaitAt blocks until at least off+1 bytes are available, the buffer is
-// sealed, the buffer fails, or ctx is done. It returns the current
-// watermark and whether the buffer is complete.
+// WaitAt blocks until at least off+1 contiguous bytes are available, the
+// buffer is sealed, the buffer fails, or ctx is done. It returns the
+// current watermark and whether the buffer is complete.
 func (b *Buffer) WaitAt(ctx context.Context, off int64) (watermark int64, complete bool, err error) {
 	for {
 		b.mu.Lock()

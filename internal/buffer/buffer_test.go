@@ -333,6 +333,223 @@ func TestManyConcurrentReaders(t *testing.T) {
 	}
 }
 
+// --- chunk-ledger tests ---
+
+func TestWriteAtDerivedWatermark(t *testing.T) {
+	b := NewChunked(10, 4) // chunks: [0,4) [4,8) [8,10)
+	if err := b.WriteAt([]byte("wxyz"), 4); err != nil {
+		t.Fatal(err)
+	}
+	if b.Watermark() != 0 {
+		t.Fatalf("watermark %d, want 0 (hole at chunk 0)", b.Watermark())
+	}
+	if b.Present() != 4 {
+		t.Fatalf("present %d, want 4", b.Present())
+	}
+	if err := b.WriteAt([]byte("abcd"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Watermark() != 8 {
+		t.Fatalf("watermark %d, want 8", b.Watermark())
+	}
+	if err := b.WriteAt([]byte("01"), 8); err != nil {
+		t.Fatal(err)
+	}
+	b.Seal()
+	if !b.Complete() || string(b.Bytes()) != "abcdwxyz01" {
+		t.Fatalf("bytes %q complete=%v", b.Bytes(), b.Complete())
+	}
+}
+
+func TestWriteAtSpansChunks(t *testing.T) {
+	b := NewChunked(12, 4)
+	if err := b.WriteAt([]byte("abcdefghijkl"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Watermark() != 12 || b.Present() != 12 {
+		t.Fatalf("watermark %d present %d", b.Watermark(), b.Present())
+	}
+}
+
+func TestWriteAtNonContiguousPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b := NewChunked(8, 4)
+	b.WriteAt([]byte("x"), 2) // chunk 0 fill is 0, write at 2 skips bytes
+}
+
+func TestClaimNextWalksMissingRuns(t *testing.T) {
+	b := NewChunked(10, 4)
+	off, n, ok := b.ClaimNext(100)
+	if !ok || off != 0 || n != 10 {
+		t.Fatalf("claim (%d,%d,%v), want (0,10,true)", off, n, ok)
+	}
+	if _, _, ok := b.ClaimNext(100); ok {
+		t.Fatal("second claim succeeded while everything is claimed")
+	}
+	// Fail mid-way: the writer wrote 5 bytes then releases the rest.
+	if err := b.WriteAt([]byte("abcde"), 0); err != nil {
+		t.Fatal(err)
+	}
+	b.ReleaseClaim(0, 10)
+	// Chunk 0 is full (stays present); chunk 1 is partially filled: the
+	// next claim resumes at the first missing byte, mid-chunk.
+	off, n, ok = b.ClaimNext(4)
+	if !ok || off != 5 || n != 3 {
+		t.Fatalf("resumed claim (%d,%d,%v), want (5,3,true)", off, n, ok)
+	}
+	off, n, ok = b.ClaimNext(4)
+	if !ok || off != 8 || n != 2 {
+		t.Fatalf("tail claim (%d,%d,%v), want (8,2,true)", off, n, ok)
+	}
+}
+
+func TestClaimNextRespectsMax(t *testing.T) {
+	b := NewChunked(16, 4)
+	off, n, ok := b.ClaimNext(4)
+	if !ok || off != 0 || n != 4 {
+		t.Fatalf("claim (%d,%d,%v), want (0,4,true)", off, n, ok)
+	}
+	off, n, ok = b.ClaimNext(5) // rounds up to whole chunks
+	if !ok || off != 4 || n != 8 {
+		t.Fatalf("claim (%d,%d,%v), want (4,8,true)", off, n, ok)
+	}
+}
+
+func TestClaimNextStopsAtPartialChunk(t *testing.T) {
+	b := NewChunked(12, 4)
+	// Simulate a failed writer that left chunk 1 half-full.
+	o, n, _ := b.ClaimNext(100)
+	if err := b.WriteAt([]byte("abcdef"), 0); err != nil {
+		t.Fatal(err)
+	}
+	b.ReleaseClaim(o, n)
+	// A fresh claim resumes mid-chunk and may run through following empty
+	// chunks (a sequential writer stays contiguous across the boundary).
+	off, n, ok := b.ClaimNext(100)
+	if !ok || off != 6 || n != 6 {
+		t.Fatalf("claim (%d,%d,%v), want (6,6,true)", off, n, ok)
+	}
+	// But a run can never START inside a chunk someone else half-filled:
+	// release chunk 2 only and half-fill it, then re-claim.
+	if err := b.WriteAt([]byte("66"), 6); err != nil {
+		t.Fatal(err)
+	}
+	b.ReleaseClaim(8, 4)
+	if err := b.WriteAt([]byte("89"), 8); err != nil {
+		t.Fatal(err)
+	}
+	off, n, ok = b.ClaimNext(100)
+	if !ok || off != 10 || n != 2 {
+		t.Fatalf("claim (%d,%d,%v), want (10,2,true)", off, n, ok)
+	}
+}
+
+func TestConcurrentStripedWriters(t *testing.T) {
+	const size = 1 << 20
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	b := NewChunked(size, 64<<10)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				off, n, ok := b.ClaimNext(128 << 10)
+				if !ok {
+					return
+				}
+				// Stream the claimed range in small writes, like a
+				// ranged network pull.
+				for pos := off; pos < off+n; {
+					end := pos + 7777
+					if end > off+n {
+						end = off + n
+					}
+					if err := b.WriteAt(data[pos:end], pos); err != nil {
+						t.Error(err)
+						return
+					}
+					pos = end
+				}
+			}
+		}()
+	}
+	// A reader streams the contiguous prefix concurrently.
+	readerDone := make(chan []byte, 1)
+	go func() {
+		out, err := io.ReadAll(b.Reader(context.Background(), 0))
+		if err != nil {
+			t.Error(err)
+		}
+		readerDone <- out
+	}()
+	wg.Wait()
+	if b.Present() != size {
+		t.Fatalf("present %d, want %d", b.Present(), size)
+	}
+	b.Seal()
+	if got := <-readerDone; !bytes.Equal(got, data) {
+		t.Fatal("concurrent reader mismatch")
+	}
+	if !bytes.Equal(b.Bytes(), data) {
+		t.Fatal("striped write mismatch")
+	}
+}
+
+func TestReleaseClaimKeepsPresentChunks(t *testing.T) {
+	b := NewChunked(12, 4)
+	o, n, _ := b.ClaimNext(100)
+	if err := b.WriteAt([]byte("abcdefgh"), 0); err != nil { // chunks 0,1 full
+		t.Fatal(err)
+	}
+	b.ReleaseClaim(o, n)
+	off, n, ok := b.ClaimNext(100)
+	if !ok || off != 8 || n != 4 {
+		t.Fatalf("claim (%d,%d,%v), want (8,4,true)", off, n, ok)
+	}
+}
+
+func TestResetClearsClaimsAndStripes(t *testing.T) {
+	b := NewChunked(12, 4)
+	b.ClaimNext(4)
+	if err := b.WriteAt([]byte("wxyz"), 8); err != nil { // striped tail
+		t.Fatal(err)
+	}
+	if err := b.Append([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	b.Fail(types.ErrAborted)
+	b.Reset(5)
+	if b.Watermark() != 5 || b.Present() != 5 || b.Failed() != nil {
+		t.Fatalf("watermark %d present %d err %v", b.Watermark(), b.Present(), b.Failed())
+	}
+	// Claims are gone and the striped tail was dropped: the next claim
+	// starts right at the watermark.
+	off, n, ok := b.ClaimNext(100)
+	if !ok || off != 5 || n != 7 {
+		t.Fatalf("claim (%d,%d,%v), want (5,7,true)", off, n, ok)
+	}
+}
+
+func TestClaimNextOnFailedOrSealed(t *testing.T) {
+	b := NewChunked(4, 4)
+	b.Fail(types.ErrAborted)
+	if _, _, ok := b.ClaimNext(4); ok {
+		t.Fatal("claim on failed buffer")
+	}
+	s := FromBytes([]byte("ab"))
+	if _, _, ok := s.ClaimNext(4); ok {
+		t.Fatal("claim on sealed buffer")
+	}
+}
+
 func BenchmarkAppend64KB(b *testing.B) {
 	chunk := make([]byte, 64<<10)
 	b.SetBytes(int64(len(chunk)))

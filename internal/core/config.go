@@ -22,6 +22,14 @@ const (
 	DefaultPipelineBlock = 4 << 20
 	// DefaultChunkSize is the data-plane wire chunk.
 	DefaultChunkSize = 256 << 10
+	// DefaultStripeThreshold is the minimum object size for which a Get
+	// stripes ranged pulls across multiple complete copies. Below it a
+	// single pipelined pull saturates the path; above it the aggregate
+	// egress bandwidth of several senders is worth the extra connections.
+	DefaultStripeThreshold = 32 << 20
+	// DefaultMaxSources caps how many senders one striped Get drains
+	// concurrently.
+	DefaultMaxSources = 4
 )
 
 // Config configures a Node.
@@ -54,6 +62,14 @@ type Config struct {
 	// StoreCapacity bounds the local store in bytes; 0 means unlimited.
 	StoreCapacity int64
 
+	// StripeThreshold is the minimum object size for a striped Get that
+	// pulls disjoint ranges from several complete copies concurrently.
+	// Defaults to DefaultStripeThreshold; negative disables striping.
+	StripeThreshold int64
+	// MaxSources caps the senders of one striped Get. Defaults to
+	// DefaultMaxSources; 1 disables striping.
+	MaxSources int
+
 	// Latency and Bandwidth are the L and B estimates used to choose the
 	// reduce tree degree d (§3.4.2). They default to 200µs and 1.25 GB/s
 	// (the paper's 10 Gbps testbed).
@@ -83,6 +99,15 @@ func (c *Config) withDefaults() Config {
 	}
 	if cfg.ChunkSize <= 0 {
 		cfg.ChunkSize = DefaultChunkSize
+	}
+	if cfg.StripeThreshold == 0 {
+		cfg.StripeThreshold = DefaultStripeThreshold
+	}
+	if cfg.MaxSources == 0 {
+		cfg.MaxSources = DefaultMaxSources
+	}
+	if cfg.MaxSources < 1 {
+		cfg.MaxSources = 1
 	}
 	if cfg.Latency <= 0 {
 		cfg.Latency = 200 * time.Microsecond

@@ -138,6 +138,10 @@ func (n *Node) Directory() *directory.Client { return n.dir }
 // Store exposes the node's local store (used by tests and tools).
 func (n *Node) Store() *store.Store { return n.store }
 
+// DataStats reports the node's data-plane serve counters: how many pulls
+// (and ranged striped pulls) this node's store served to receivers.
+func (n *Node) DataStats() transport.Stats { return n.dataSrv.Stats() }
+
 func (n *Node) acceptLoop() {
 	for {
 		conn, err := n.ln.Accept()

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"hoplite/internal/buffer"
+	"hoplite/internal/directory"
 	"hoplite/internal/transport"
 	"hoplite/internal/types"
 	"hoplite/internal/wire"
@@ -59,6 +61,14 @@ func (n *Node) Put(ctx context.Context, oid types.ObjectID, data []byte) error {
 			end = len(data)
 		}
 		if err := buf.Append(data[off:end]); err != nil {
+			// Mid-copy failure (concurrent Delete or node close): the
+			// location was registered up front, so tear down both the
+			// store entry and the directory location — otherwise remote
+			// receivers keep getting routed to a dead partial copy.
+			n.store.Delete(oid)
+			rctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
+			_ = n.dir.RemoveLocation(rctx, oid)
+			cancel()
 			return err
 		}
 	}
@@ -225,7 +235,10 @@ func (n *Node) ensureLocal(ctx context.Context, oid types.ObjectID) (*buffer.Buf
 }
 
 // startPull performs the first sender acquisition for a registered pull
-// and launches the transfer loop.
+// and launches the transfer loop. Large objects with several complete
+// remote copies are striped: disjoint ranges are pulled from up to
+// MaxSources senders concurrently, aggregating their egress bandwidth;
+// everything else takes the classic single-sender pipelined pull.
 func (n *Node) startPull(ctx context.Context, oid types.ObjectID, p *pull) (*buffer.Buffer, error) {
 	fail := func(err error) (*buffer.Buffer, error) {
 		p.err = err
@@ -237,14 +250,16 @@ func (n *Node) startPull(ctx context.Context, oid types.ObjectID, p *pull) (*buf
 		close(p.ready)
 		return nil, err
 	}
-	lease, err := n.dir.AcquireSender(ctx, oid, true)
-	if err != nil {
-		return fail(err)
-	}
-	if lease.Inline != nil {
+	inline := func(payload []byte) (*buffer.Buffer, error) {
 		// Small-object fast path: the payload came with the reply.
-		buf, err := n.store.InsertSealed(oid, lease.Inline, false)
-		if err != nil && !errors.Is(err, types.ErrExists) {
+		buf, err := n.store.InsertSealed(oid, payload, false)
+		if errors.Is(err, types.ErrExists) {
+			// A racing local writer owns the entry; use its buffer.
+			if existing, ok := n.store.Get(oid); ok {
+				buf, err = existing, nil
+			}
+		}
+		if err != nil {
 			return fail(err)
 		}
 		n.signalStoreChange()
@@ -254,6 +269,62 @@ func (n *Node) startPull(ctx context.Context, oid types.ObjectID, p *pull) (*buf
 		n.mu.Unlock()
 		close(p.ready)
 		return buf, nil
+	}
+
+	var lease directory.Lease
+	acquired := false
+	if n.cfg.MaxSources > 1 && n.cfg.StripeThreshold > 0 {
+		ml, err := n.dir.AcquireSenders(ctx, oid, n.cfg.MaxSources)
+		switch {
+		case err == nil && ml.Inline != nil:
+			return inline(ml.Inline)
+		case err == nil && len(ml.Senders) >= 2 && ml.Size >= n.cfg.StripeThreshold:
+			buf, cerr := n.store.Create(oid, ml.Size, false)
+			if cerr != nil {
+				rctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
+				for _, s := range ml.Senders {
+					_ = n.dir.AbortTransfer(rctx, oid, s, false)
+				}
+				cancel()
+				return fail(cerr)
+			}
+			n.signalStoreChange()
+			p.buf = buf
+			close(p.ready)
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.runStripedPull(oid, p, buf, ml)
+			}()
+			return buf, nil
+		case err == nil && len(ml.Senders) > 0:
+			// Leases granted but striping is not worthwhile (object below
+			// the threshold, or a single eligible copy): keep the first
+			// lease for the classic path and return the rest.
+			if len(ml.Senders) > 1 {
+				rctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
+				for _, s := range ml.Senders[1:] {
+					_ = n.dir.AbortTransfer(rctx, oid, s, false)
+				}
+				cancel()
+			}
+			lease = directory.Lease{Sender: ml.Senders[0], Size: ml.Size, Gen: ml.Gen}
+			acquired = true
+		default:
+			// No unleased complete copy right now (or the object is not
+			// produced yet): fall through to the blocking single-sender
+			// acquire, which also accepts partial copies.
+		}
+	}
+	if !acquired {
+		var err error
+		lease, err = n.dir.AcquireSender(ctx, oid, true)
+		if err != nil {
+			return fail(err)
+		}
+		if lease.Inline != nil {
+			return inline(lease.Inline)
+		}
 	}
 	if lease.Size < 0 {
 		_ = n.dir.AbortTransfer(ctx, oid, lease.Sender, false)
@@ -321,31 +392,195 @@ func (n *Node) runPull(oid types.ObjectID, p *pull, buf *buffer.Buffer, sender t
 			n.store.Delete(oid)
 			return
 		}
-		if lease.Inline != nil {
-			// The object reappeared as an inline small object.
-			buf.Fail(types.ErrAborted)
+		var ok bool
+		if buf, gen, ok = n.rebindLease(oid, p, buf, lease, gen); !ok {
+			return
+		}
+		sender = lease.Sender
+	}
+}
+
+// rebindLease reconciles an in-progress buffer with a re-acquired lease
+// after a sender failure: an object that reappeared inline aborts the
+// pull, a re-creation with a different size replaces the buffer, and a
+// new generation at the same size discards the stale prefix (§3.5.2). It
+// returns the (possibly replaced) buffer and generation; ok is false when
+// the pull cannot continue.
+func (n *Node) rebindLease(oid types.ObjectID, p *pull, buf *buffer.Buffer, lease directory.Lease, gen int64) (*buffer.Buffer, int64, bool) {
+	if lease.Inline != nil {
+		// The object reappeared as an inline small object.
+		buf.Fail(types.ErrAborted)
+		n.store.Delete(oid)
+		return buf, gen, false
+	}
+	if lease.Gen == gen && lease.Size == buf.Size() {
+		return buf, gen, true
+	}
+	if lease.Size != buf.Size() {
+		// Recreated with a different size: replace the buffer.
+		n.store.Delete(oid)
+		nb, cerr := n.store.Create(oid, lease.Size, false)
+		if cerr != nil {
+			buf.Fail(cerr)
+			rctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
+			_ = n.dir.AbortTransfer(rctx, oid, lease.Sender, false)
+			cancel()
+			return buf, gen, false
+		}
+		n.signalStoreChange()
+		n.mu.Lock()
+		p.buf = nb
+		n.mu.Unlock()
+		buf = nb
+	} else {
+		buf.Reset(0)
+	}
+	return buf, lease.Gen, true
+}
+
+// runStripedPull drains one object from several complete copies at once:
+// each leased sender gets a worker that repeatedly claims the next run of
+// missing chunks from the buffer's ledger and issues a ranged pull for it.
+// A failed sender's worker returns its unwritten chunks to the ledger, so
+// the surviving workers re-fetch exactly the missing ranges — no reset to
+// the lowest contiguous offset. If every worker dies with bytes still
+// missing, the repair loop takes over with single-sender failover.
+func (n *Node) runStripedPull(oid types.ObjectID, p *pull, buf *buffer.Buffer, ml directory.MultiLease) {
+	ctx := n.ctx // pulls outlive the requesting call, like a real store
+	defer func() {
+		n.mu.Lock()
+		if n.pulls[oid] == p {
+			delete(n.pulls, oid)
+		}
+		n.mu.Unlock()
+	}()
+	span := int64(n.cfg.PipelineBlock)
+	var wg sync.WaitGroup
+	for _, sender := range ml.Senders {
+		wg.Add(1)
+		go func(sender types.NodeID) {
+			defer wg.Done()
+			n.stripeWorker(ctx, oid, buf, sender, span)
+		}(sender)
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		buf.Fail(types.ErrClosed)
+		return
+	}
+	if buf.Failed() != nil {
+		// Deleted (or otherwise failed) mid-stripe; drop the partial copy.
+		n.store.Delete(oid)
+		return
+	}
+	if buf.Present() == buf.Size() {
+		buf.Seal()
+		rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		_ = n.dir.PutComplete(rctx, oid)
+		cancel()
+		return
+	}
+	n.repairPull(oid, p, buf, ml.Gen)
+}
+
+// stripeWorker pulls claimed ranges from one leased sender until the
+// ledger has nothing left to claim or the sender fails.
+func (n *Node) stripeWorker(ctx context.Context, oid types.ObjectID, buf *buffer.Buffer, sender types.NodeID, span int64) {
+	addr := string(sender)
+	dial := func(c context.Context) (net.Conn, error) { return n.dialData(c, addr) }
+	for {
+		off, length, ok := buf.ClaimNext(span)
+		if !ok {
+			rctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
+			_ = n.dir.ReleaseSender(rctx, oid, sender, false)
+			cancel()
+			return
+		}
+		if err := transport.PullRange(ctx, dial, n.id, oid, off, length, buf); err != nil {
+			buf.ReleaseClaim(off, length)
+			rctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
+			if errors.Is(err, types.ErrDeleted) {
+				// The object was deleted cluster-wide; fail the local
+				// buffer so the other workers stop too.
+				n.store.Delete(oid)
+				_ = n.dir.AbortTransfer(rctx, oid, sender, false)
+			} else {
+				// Sender failed (socket liveness, §5.5): drop its
+				// location; surviving workers absorb the released range.
+				_ = n.dir.AbortTransfer(rctx, oid, sender, ctx.Err() == nil)
+			}
+			cancel()
+			return
+		}
+	}
+}
+
+// repairPull completes a buffer with missing ranges (after every striped
+// worker failed) by claim-looping against one acquired sender at a time,
+// with the classic failover rules: dead senders are dropped and
+// re-acquired, a new generation discards the stale bytes, and deletion
+// tears the local copy down.
+func (n *Node) repairPull(oid types.ObjectID, p *pull, buf *buffer.Buffer, gen int64) {
+	ctx := n.ctx
+	span := int64(n.cfg.PipelineBlock)
+	for {
+		lease, err := n.dir.AcquireSender(ctx, oid, true)
+		if err != nil {
+			buf.Fail(err)
 			n.store.Delete(oid)
 			return
 		}
-		if lease.Gen != gen || lease.Size != buf.Size() {
-			if lease.Size != buf.Size() {
-				// Recreated with a different size: replace the buffer.
-				n.store.Delete(oid)
-				nb, cerr := n.store.Create(oid, lease.Size, false)
-				if cerr != nil {
-					buf.Fail(cerr)
-					return
-				}
-				n.signalStoreChange()
-				buf = nb
-				n.mu.Lock()
-				p.buf = nb
-				n.mu.Unlock()
-			} else {
-				buf.Reset(0)
-			}
-			gen = lease.Gen
+		var ok bool
+		if buf, gen, ok = n.rebindLease(oid, p, buf, lease, gen); !ok {
+			return
 		}
-		sender = lease.Sender
+		perr := n.pullMissing(ctx, oid, buf, lease.Sender, span)
+		if perr == nil {
+			buf.Seal()
+			rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			_ = n.dir.ReleaseSender(rctx, oid, lease.Sender, true)
+			cancel()
+			return
+		}
+		if ctx.Err() != nil {
+			buf.Fail(types.ErrClosed)
+			return
+		}
+		if errors.Is(perr, types.ErrDeleted) {
+			n.store.Delete(oid)
+			rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			_ = n.dir.AbortTransfer(rctx, oid, lease.Sender, false)
+			cancel()
+			return
+		}
+		rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		_ = n.dir.AbortTransfer(rctx, oid, lease.Sender, true)
+		cancel()
+	}
+}
+
+// pullMissing claim-loops the buffer's missing ranges from one sender. It
+// returns nil once every byte is present, or the first pull error.
+func (n *Node) pullMissing(ctx context.Context, oid types.ObjectID, buf *buffer.Buffer, sender types.NodeID, span int64) error {
+	addr := string(sender)
+	dial := func(c context.Context) (net.Conn, error) { return n.dialData(c, addr) }
+	for {
+		off, length, ok := buf.ClaimNext(span)
+		if !ok {
+			if err := buf.Failed(); err != nil {
+				return err
+			}
+			if buf.Present() != buf.Size() {
+				// Defensive: nothing claimable yet bytes missing can only
+				// mean another writer holds claims, which repair never
+				// races with.
+				return types.ErrAborted
+			}
+			return nil
+		}
+		if err := transport.PullRange(ctx, dial, n.id, oid, off, length, buf); err != nil {
+			buf.ReleaseClaim(off, length)
+			return err
+		}
 	}
 }

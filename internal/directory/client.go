@@ -165,6 +165,35 @@ func (c *Client) AcquireSender(ctx context.Context, oid types.ObjectID, wait boo
 	return Lease{Sender: resp.Sender, Size: resp.Size, Gen: resp.Gen, Inline: resp.Payload}, nil
 }
 
+// MultiLease is the result of AcquireSenders: either an inline payload
+// (small objects) or up to max leased senders, each holding a complete
+// copy, for a striped pull.
+type MultiLease struct {
+	Senders []types.NodeID
+	Size    int64
+	Gen     int64
+	Inline  []byte
+}
+
+// AcquireSenders atomically leases up to max eligible senders holding
+// complete copies of the object and registers this node as a partial
+// location. It never blocks: with no eligible complete copy it returns
+// ErrNoSender (or ErrNotFound when the object has no locations at all),
+// and the caller falls back to the blocking single-sender AcquireSender.
+// Each leased sender is returned individually via ReleaseSender or
+// AbortTransfer.
+func (c *Client) AcquireSenders(ctx context.Context, oid types.ObjectID, max int) (MultiLease, error) {
+	resp, err := c.call(ctx, wire.Message{Method: wire.MethodAcquireMany, OID: oid, Node: c.self, Num: int64(max)})
+	if err != nil {
+		return MultiLease{}, err
+	}
+	ml := MultiLease{Size: resp.Size, Gen: resp.Gen, Inline: resp.Payload}
+	for _, l := range resp.Locs {
+		ml.Senders = append(ml.Senders, l.Node)
+	}
+	return ml, nil
+}
+
 // ReleaseSender returns a leased sender after a successful transfer and,
 // when complete, marks this node as holding a complete copy.
 func (c *Client) ReleaseSender(ctx context.Context, oid types.ObjectID, sender types.NodeID, complete bool) error {

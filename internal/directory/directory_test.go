@@ -117,6 +117,100 @@ func TestInlineFastPath(t *testing.T) {
 	}
 }
 
+func TestAcquireManyLeasesAllCompleteCopies(t *testing.T) {
+	cs := startShard(t, "n1", "n2", "n3", "n4", "n5")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("striped")
+	// Three complete copies and one partial.
+	for i := 0; i < 3; i++ {
+		if err := cs[i].PutStarted(ctx, oid, 1000); err != nil {
+			t.Fatal(err)
+		}
+		if err := cs[i].PutComplete(ctx, oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs[3].PutStarted(ctx, oid, 1000); err != nil {
+		t.Fatal(err)
+	}
+	ml, err := cs[4].AcquireSenders(ctx, oid, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ml.Senders) != 3 {
+		t.Fatalf("leased %d senders, want 3 (the complete copies)", len(ml.Senders))
+	}
+	seen := map[types.NodeID]bool{}
+	for _, s := range ml.Senders {
+		if s == "n4" || s == "n5" {
+			t.Fatalf("leased ineligible sender %s", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 3 {
+		t.Fatal("duplicate senders leased")
+	}
+	if ml.Size != 1000 {
+		t.Fatalf("size %d", ml.Size)
+	}
+	// All complete copies are now leased: another striped acquire must
+	// not block, it reports ErrNoSender so the caller falls back.
+	if _, err := cs[3].AcquireSenders(ctx, oid, 8); !errors.Is(err, types.ErrNoSender) {
+		t.Fatalf("got %v, want ErrNoSender", err)
+	}
+	// Releasing one sender makes it leasable again.
+	if err := cs[4].ReleaseSender(ctx, oid, ml.Senders[0], false); err != nil {
+		t.Fatal(err)
+	}
+	ml2, err := cs[3].AcquireSenders(ctx, oid, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ml2.Senders) != 1 || ml2.Senders[0] != ml.Senders[0] {
+		t.Fatalf("re-lease got %v", ml2.Senders)
+	}
+}
+
+func TestAcquireManyRespectsMax(t *testing.T) {
+	cs := startShard(t, "n1", "n2", "n3", "n4")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("maxed")
+	for i := 0; i < 3; i++ {
+		if err := cs[i].PutStarted(ctx, oid, 64); err != nil {
+			t.Fatal(err)
+		}
+		if err := cs[i].PutComplete(ctx, oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ml, err := cs[3].AcquireSenders(ctx, oid, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ml.Senders) != 2 {
+		t.Fatalf("leased %d senders, want max 2", len(ml.Senders))
+	}
+}
+
+func TestAcquireManyNotFoundAndInline(t *testing.T) {
+	cs := startShard(t, "n1", "n2")
+	ctx := ctxT(t)
+	if _, err := cs[0].AcquireSenders(ctx, types.ObjectIDFromString("absent"), 4); !errors.Is(err, types.ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+	oid := types.ObjectIDFromString("tiny")
+	if err := cs[0].PutInline(ctx, oid, []byte("inline!")); err != nil {
+		t.Fatal(err)
+	}
+	ml, err := cs[1].AcquireSenders(ctx, oid, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ml.Inline) != "inline!" {
+		t.Fatalf("inline %q", ml.Inline)
+	}
+}
+
 func TestAcquirePrefersComplete(t *testing.T) {
 	cs := startShard(t, "holderP", "holderC", "recv")
 	ctx := ctxT(t)

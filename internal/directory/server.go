@@ -141,6 +141,8 @@ func (s *Server) handle(ctx context.Context, m wire.Message, p *wire.Peer) wire.
 		return s.putInline(m)
 	case wire.MethodAcquire:
 		return s.acquire(ctx, m)
+	case wire.MethodAcquireMany:
+		return s.acquireMany(m)
 	case wire.MethodRelease:
 		return s.release(m)
 	case wire.MethodAbort:
@@ -316,6 +318,70 @@ func (s *Server) acquire(ctx context.Context, m wire.Message) wire.Message {
 			return resp
 		}
 	}
+}
+
+// acquireMany leases up to m.Num eligible senders holding *complete*
+// copies to the receiver in one atomic step, for a striped pull that
+// drains disjoint ranges from every copy concurrently. Unlike acquire it
+// never blocks: with no eligible complete copy the receiver falls back to
+// the single-sender (possibly partial, possibly waiting) path. Complete
+// holders never fetch, so multi-leases cannot create fetch cycles and no
+// deps entries are recorded; each lease is returned individually through
+// the existing Release/Abort methods.
+func (s *Server) acquireMany(m wire.Message) wire.Message {
+	receiver := m.Node
+	want := int(m.Num)
+	if want < 1 {
+		want = 1
+	}
+	s.mu.Lock()
+	e := s.entryLocked(m.OID)
+	var resp wire.Message
+	switch {
+	case e.deleted:
+		resp.SetError(types.ErrDeleted)
+		s.mu.Unlock()
+		return resp
+	case e.inline != nil:
+		resp.Payload = e.inline
+		resp.Size = e.size
+		s.mu.Unlock()
+		return resp
+	}
+	var leased []types.Location
+	for node, prog := range e.prog {
+		if len(leased) == want {
+			break
+		}
+		if node == receiver || prog != types.ProgressComplete {
+			continue
+		}
+		if _, busy := e.leasedTo[node]; busy {
+			continue
+		}
+		e.leasedTo[node] = receiver
+		leased = append(leased, types.Location{Node: node, Progress: prog})
+	}
+	if len(leased) == 0 {
+		if len(e.prog) == 0 {
+			resp.SetError(types.ErrNotFound)
+		} else {
+			resp.SetError(types.ErrNoSender)
+		}
+		s.mu.Unlock()
+		return resp
+	}
+	if _, held := e.prog[receiver]; !held {
+		e.prog[receiver] = types.ProgressPartial
+	}
+	resp.Locs = leased
+	resp.Size = e.size
+	resp.Gen = e.gen
+	e.wake()
+	notify := s.notifyLocked(m.OID, e)
+	s.mu.Unlock()
+	notify()
+	return resp
 }
 
 func (s *Server) release(m wire.Message) wire.Message {

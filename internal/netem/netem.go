@@ -202,6 +202,22 @@ func (e *Emulated) Kill(node string) {
 	}
 }
 
+// SetNodeLink re-shapes one node's bandwidth at runtime, overriding the
+// fabric-wide LinkConfig for that node's ingress and egress token buckets
+// (existing connections included). Latency is per-connection and keeps the
+// fabric-wide value. Asymmetric setups — e.g. a receiver with a fat link
+// pulling from senders with capped egress — are how striped multi-source
+// fetches are benchmarked.
+func (e *Emulated) SetNodeLink(node string, cfg LinkConfig) {
+	burst := cfg.Burst
+	if burst <= 0 {
+		burst = 256 << 10
+	}
+	sn := e.node(node)
+	sn.egress.setRate(cfg.BytesPerSec, burst)
+	sn.ingress.setRate(cfg.BytesPerSec, burst)
+}
+
 // Revive allows a previously killed node to create connections again.
 func (e *Emulated) Revive(node string) {
 	sn := e.node(node)
@@ -381,11 +397,25 @@ func newBucket(rate, burst float64) *bucket {
 	return &bucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
 }
 
+// setRate re-targets the bucket at runtime; accumulated debt is forgiven
+// so a rate change takes effect immediately.
+func (b *bucket) setRate(rate, burst float64) {
+	b.mu.Lock()
+	b.rate = rate
+	b.burst = burst
+	b.tokens = burst
+	b.last = time.Now()
+	b.mu.Unlock()
+}
+
 func (b *bucket) take(n int64) {
+	b.mu.Lock()
+	// rate is read under the lock: SetNodeLink re-targets live buckets
+	// while senders are mid-take.
 	if b.rate <= 0 {
+		b.mu.Unlock()
 		return
 	}
-	b.mu.Lock()
 	now := time.Now()
 	b.tokens += now.Sub(b.last).Seconds() * b.rate
 	if b.tokens > b.burst {

@@ -79,7 +79,11 @@ func (s *Store) Create(oid types.ObjectID, size int64, pinned bool) (*buffer.Buf
 }
 
 // InsertSealed stores an already-complete payload (e.g. a small object
-// fetched inline) without copying.
+// fetched inline) without copying. Exactly one of the returned buffer and
+// error is non-nil: when a complete copy already exists the insert is
+// idempotent (objects are immutable) and the existing buffer is returned
+// with a nil error; when the existing entry is still being written it
+// returns ErrExists.
 func (s *Store) InsertSealed(oid types.ObjectID, data []byte, pinned bool) (*buffer.Buffer, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -87,8 +91,15 @@ func (s *Store) InsertSealed(oid types.ObjectID, data []byte, pinned bool) (*buf
 		return nil, types.ErrClosed
 	}
 	if o, ok := s.objects[oid]; ok {
+		if o.buf.Complete() {
+			if o.elem != nil {
+				s.lru.MoveToFront(o.elem)
+			}
+			s.mu.Unlock()
+			return o.buf, nil
+		}
 		s.mu.Unlock()
-		return o.buf, fmt.Errorf("store: %v: %w", oid, types.ErrExists)
+		return nil, fmt.Errorf("store: %v: %w", oid, types.ErrExists)
 	}
 	evicted := s.ensureRoomLocked(int64(len(data)))
 	buf := buffer.FromBytes(data)
@@ -107,30 +118,25 @@ func (s *Store) InsertSealed(oid types.ObjectID, data []byte, pinned bool) (*buf
 
 // ensureRoomLocked evicts unpinned complete LRU objects until size fits,
 // returning the evicted IDs. Objects still being written are never
-// evicted.
+// evicted. The scan is a single pass from the cold end of the LRU list —
+// the cursor only moves forward, so a long run of incomplete (unevictable)
+// partial buffers is skipped once instead of being rescanned for every
+// victim, which previously made a burst of evictions O(n²).
 func (s *Store) ensureRoomLocked(size int64) []types.ObjectID {
 	if s.capacity <= 0 {
 		return nil
 	}
 	var evicted []types.ObjectID
-	for s.used+size > s.capacity {
-		var victim *list.Element
-		for e := s.lru.Back(); e != nil; e = e.Prev() {
-			oid := e.Value.(types.ObjectID)
-			if o := s.objects[oid]; o != nil && o.buf.Complete() {
-				victim = e
-				break
-			}
+	for e := s.lru.Back(); e != nil && s.used+size > s.capacity; {
+		prev := e.Prev()
+		oid := e.Value.(types.ObjectID)
+		if o := s.objects[oid]; o != nil && o.buf.Complete() {
+			s.lru.Remove(e)
+			delete(s.objects, oid)
+			s.used -= o.buf.Size()
+			evicted = append(evicted, oid)
 		}
-		if victim == nil {
-			return evicted // nothing evictable; allow overflow
-		}
-		oid := victim.Value.(types.ObjectID)
-		o := s.objects[oid]
-		s.lru.Remove(victim)
-		delete(s.objects, oid)
-		s.used -= o.buf.Size()
-		evicted = append(evicted, oid)
+		e = prev
 	}
 	return evicted
 }

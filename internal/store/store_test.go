@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"hoplite/internal/buffer"
 	"hoplite/internal/types"
 )
 
@@ -65,6 +66,112 @@ func TestInsertSealed(t *testing.T) {
 	}
 	if s.Used() != 3 {
 		t.Fatalf("used %d", s.Used())
+	}
+}
+
+func TestInsertSealedExistingComplete(t *testing.T) {
+	s := New(0, nil)
+	first, err := s.InsertSealed(oid(1), []byte("abc"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-insert of an immutable object: the existing buffer
+	// comes back with a nil error (one-or-the-other contract).
+	again, err := s.InsertSealed(oid(1), []byte("abc"), false)
+	if err != nil {
+		t.Fatalf("re-insert of complete object errored: %v", err)
+	}
+	if again != first {
+		t.Fatal("re-insert returned a different buffer")
+	}
+	if s.Used() != 3 {
+		t.Fatalf("used %d, want 3 (no double accounting)", s.Used())
+	}
+}
+
+func TestInsertSealedExistingIncomplete(t *testing.T) {
+	s := New(0, nil)
+	if _, err := s.Create(oid(1), 10, false); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := s.InsertSealed(oid(1), make([]byte, 10), false)
+	if !errors.Is(err, types.ErrExists) {
+		t.Fatalf("got %v, want ErrExists", err)
+	}
+	if buf != nil {
+		t.Fatal("got both a buffer and an error")
+	}
+}
+
+// Satellite regression: concurrent eviction-triggering inserts racing
+// against in-progress writes to partial buffers. A buffer must never be
+// evicted while incomplete, and the single-pass eviction scan must keep
+// making room past a run of unevictable partials.
+func TestConcurrentEvictionVsInProgressWrites(t *testing.T) {
+	const writers = 8
+	bufs := make(map[types.ObjectID]*buffer.Buffer)
+	var mu sync.Mutex
+	s := New(4096, func(o types.ObjectID) {
+		// Completeness is monotonic, so an incomplete buffer seen here was
+		// incomplete when the eviction scan chose it — a bug.
+		mu.Lock()
+		b := bufs[o]
+		mu.Unlock()
+		if b != nil && !b.Complete() {
+			t.Errorf("incomplete buffer %v evicted", o)
+		}
+	})
+
+	// A pool of partial buffers being written (and eventually sealed)
+	// while eviction churn runs.
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		id := oid(1000 + w)
+		buf, err := s.Create(id, 256, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		bufs[id] = buf
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 256; i += 16 {
+				if err := buf.Append(make([]byte, 16)); err != nil {
+					return
+				}
+			}
+			buf.Seal()
+		}()
+	}
+	// Sealed inserts churn the store over capacity, forcing evictions
+	// that must walk past the in-progress buffers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := oid(10000 + w*1000 + i)
+				mu.Lock()
+				bufs[id] = nil
+				mu.Unlock()
+				b, err := s.InsertSealed(id, make([]byte, 512), false)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				bufs[id] = b
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Eviction must have kept the store near capacity despite the run of
+	// partials at the front of the LRU.
+	if s.Used() > 4096+8*256+512 {
+		t.Fatalf("used %d: eviction failed to make room", s.Used())
 	}
 }
 
@@ -181,7 +288,13 @@ func TestAccountingProperty(t *testing.T) {
 			case 0:
 				size := int64(op%97) + 1
 				pin := op%2 == 0
-				if _, err := s.InsertSealed(id, make([]byte, size), pin); err == nil {
+				if _, ok := live[id]; ok {
+					// Idempotent re-insert of an existing complete object:
+					// the store keeps the original entry (size and pin).
+					if _, err := s.InsertSealed(id, make([]byte, size), pin); err != nil {
+						return false
+					}
+				} else if _, err := s.InsertSealed(id, make([]byte, size), pin); err == nil {
 					live[id] = size
 					pinned[id] = pin
 				}

@@ -3,8 +3,11 @@
 // sender node's store. The sender streams chunks as its local buffer
 // watermark advances, so a node holding only a partial copy can already
 // forward data (fine-grained pipelining, §3.3). Pulls carry a starting
-// offset, which is how a receiver resumes from its watermark after a
-// sender failure (§3.5.1). Failure detection is socket liveness (§5.5).
+// offset and a length: a full pull (length 0) resumes from the receiver's
+// watermark after a sender failure (§3.5.1), while a ranged pull fetches
+// one sub-range of the object, which is how a striped Get drains disjoint
+// ranges from several complete copies at once. Failure detection is socket
+// liveness (§5.5).
 package transport
 
 import (
@@ -16,6 +19,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"hoplite/internal/buffer"
 	"hoplite/internal/pool"
@@ -55,12 +59,24 @@ type Getter func(ctx context.Context, oid types.ObjectID) (*buffer.Buffer, error
 // (failure detection via socket liveness, §5.5).
 type SendFailFunc func(oid types.ObjectID, receiver types.NodeID)
 
+// Stats counts the pulls a data-plane server has served. Tests use it to
+// assert that a striped Get actually drew ranged pulls from this sender.
+type Stats struct {
+	// Pulls is the total number of pull requests accepted.
+	Pulls int64
+	// RangedPulls counts the subset that requested an explicit sub-range
+	// (a striped Get stripe) rather than offset-to-end.
+	RangedPulls int64
+}
+
 // Server serves pull requests from a node's store.
 type Server struct {
 	ln     net.Listener
 	get    Getter
 	onFail SendFailFunc
 	chunk  int
+	pulls  atomic.Int64
+	ranged atomic.Int64
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -125,7 +141,7 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriterSize(conn, 64<<10)
-	var hdr [1 + types.ObjectIDSize + 8 + 2]byte
+	var hdr [1 + types.ObjectIDSize + 8 + 8 + 2]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return
 	}
@@ -135,12 +151,17 @@ func (s *Server) serveConn(conn net.Conn) {
 	var oid types.ObjectID
 	copy(oid[:], hdr[1:1+types.ObjectIDSize])
 	offset := int64(binary.BigEndian.Uint64(hdr[1+types.ObjectIDSize:]))
-	rlen := int(binary.BigEndian.Uint16(hdr[1+types.ObjectIDSize+8:]))
+	length := int64(binary.BigEndian.Uint64(hdr[1+types.ObjectIDSize+8:]))
+	rlen := int(binary.BigEndian.Uint16(hdr[1+types.ObjectIDSize+16:]))
 	rbuf := make([]byte, rlen)
 	if _, err := io.ReadFull(br, rbuf); err != nil {
 		return
 	}
 	receiver := types.NodeID(rbuf)
+	s.pulls.Add(1)
+	if length > 0 {
+		s.ranged.Add(1)
+	}
 
 	// The client sends nothing after the request; a read completing means
 	// the connection died.
@@ -152,7 +173,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		cancel()
 	}()
 
-	sentEOF, err := s.servePull(ctx, bw, oid, offset)
+	sentEOF, err := s.servePull(ctx, bw, oid, offset, length)
 	if err == nil {
 		err = bw.Flush()
 	}
@@ -195,19 +216,32 @@ func writeError(w *bufio.Writer, err error) error {
 	return w.Flush()
 }
 
-// servePull streams one object. sentEOF reports whether the full stream
+// servePull streams one object range: [offset, offset+length), or
+// offset-to-end when length is 0. sentEOF reports whether the full stream
 // (terminated by the EOF frame) was handed to the writer.
-func (s *Server) servePull(ctx context.Context, bw *bufio.Writer, oid types.ObjectID, offset int64) (sentEOF bool, err error) {
+func (s *Server) servePull(ctx context.Context, bw *bufio.Writer, oid types.ObjectID, offset, length int64) (sentEOF bool, err error) {
 	buf, err := s.get(ctx, oid)
 	if err != nil {
 		return false, writeError(bw, err)
 	}
-	// The offset comes off the wire: validate it before it can index the
-	// buffer (a negative or past-end value would panic the send loop).
+	// Offset and length come off the wire: validate them before they can
+	// index the buffer (a negative or past-end value would panic the send
+	// loop).
 	if offset < 0 || offset > buf.Size() {
 		return false, writeError(bw, fmt.Errorf("pull offset %d out of range [0,%d]", offset, buf.Size()))
 	}
-	// Size frame first so the receiver can allocate.
+	// Compare length against the remaining bytes rather than computing
+	// offset+length: a hostile huge length would overflow int64 and slip
+	// past an end > size check as a negative end.
+	if length < 0 || length > buf.Size()-offset {
+		return false, writeError(bw, fmt.Errorf("pull range [%d,+%d) out of range [0,%d]", offset, length, buf.Size()))
+	}
+	end := buf.Size()
+	if length > 0 {
+		end = offset + length
+	}
+	// Size frame first so the receiver can allocate (always the full
+	// object size, not the range length).
 	var szb [9]byte
 	szb[0] = frameSize
 	binary.BigEndian.PutUint64(szb[1:], uint64(buf.Size()))
@@ -216,23 +250,26 @@ func (s *Server) servePull(ctx context.Context, bw *bufio.Writer, oid types.Obje
 	}
 	data := buf.Bytes()
 	off := offset
-	for off < buf.Size() {
+	for off < end {
 		wm, _, err := buf.WaitAt(ctx, off)
 		if err != nil {
 			return false, writeError(bw, err)
 		}
+		if wm > end {
+			wm = end
+		}
 		for off < wm {
-			end := off + int64(s.chunk)
-			if end > wm {
-				end = wm
+			stop := off + int64(s.chunk)
+			if stop > wm {
+				stop = wm
 			}
-			if err := writeFrameHeader(bw, frameChunk, uint32(end-off)); err != nil {
+			if err := writeFrameHeader(bw, frameChunk, uint32(stop-off)); err != nil {
 				return false, err
 			}
-			if _, err := bw.Write(data[off:end]); err != nil {
+			if _, err := bw.Write(data[off:stop]); err != nil {
 				return false, err
 			}
-			off = end
+			off = stop
 		}
 		// Flush at watermark boundaries so partial data reaches the
 		// receiver promptly.
@@ -244,6 +281,11 @@ func (s *Server) servePull(ctx context.Context, bw *bufio.Writer, oid types.Obje
 		return false, err
 	}
 	return true, nil
+}
+
+// Stats returns the server's pull counters.
+func (s *Server) Stats() Stats {
+	return Stats{Pulls: s.pulls.Load(), RangedPulls: s.ranged.Load()}
 }
 
 // Close stops the server and closes every data connection.
@@ -281,6 +323,31 @@ func Pull(ctx context.Context, dial DialFunc, self types.NodeID, oid types.Objec
 	if offset != dst.Watermark() {
 		return fmt.Errorf("transport: pull offset %d != watermark %d", offset, dst.Watermark())
 	}
+	return pull(ctx, dial, self, oid, offset, 0, dst, true)
+}
+
+// PullRange streams exactly [offset, offset+length) of oid from the
+// sender into dst via dst.WriteAt, filling the chunk ledger without
+// touching bytes outside the range. The caller owns the range (typically
+// via dst.ClaimNext) and seals dst itself once every range is present. On
+// failure dst keeps whatever prefix of the range arrived; the caller
+// releases the claim so the missing bytes — and only those — can be
+// re-fetched from another sender.
+func PullRange(ctx context.Context, dial DialFunc, self types.NodeID, oid types.ObjectID, offset, length int64, dst *buffer.Buffer) error {
+	if length <= 0 {
+		return fmt.Errorf("transport: pull range length %d", length)
+	}
+	if offset < 0 || offset+length > dst.Size() {
+		return fmt.Errorf("transport: pull range [%d,%d) outside object of %d bytes", offset, offset+length, dst.Size())
+	}
+	return pull(ctx, dial, self, oid, offset, length, dst, false)
+}
+
+// pull is the shared receive loop: it requests [offset, offset+length)
+// (length 0 = to end) and writes arriving chunks at their absolute offset,
+// which equals dst's watermark for a full pull and extends a claimed range
+// fill for a ranged one. sealAtEOF seals dst after a complete full pull.
+func pull(ctx context.Context, dial DialFunc, self types.NodeID, oid types.ObjectID, offset, length int64, dst *buffer.Buffer, sealAtEOF bool) error {
 	conn, err := dial(ctx)
 	if err != nil {
 		return fmt.Errorf("transport: dial sender: %w", err)
@@ -300,10 +367,11 @@ func Pull(ctx context.Context, dial DialFunc, self types.NodeID, oid types.Objec
 	if len(rid) > 65535 {
 		return fmt.Errorf("transport: node id too long")
 	}
-	req := make([]byte, 0, 1+types.ObjectIDSize+8+2+len(rid))
+	req := make([]byte, 0, 1+types.ObjectIDSize+8+8+2+len(rid))
 	req = append(req, reqPull)
 	req = append(req, oid[:]...)
 	req = binary.BigEndian.AppendUint64(req, uint64(offset))
+	req = binary.BigEndian.AppendUint64(req, uint64(length))
 	req = binary.BigEndian.AppendUint16(req, uint16(len(rid)))
 	req = append(req, rid...)
 	if _, err := conn.Write(req); err != nil {
@@ -334,6 +402,10 @@ func Pull(ctx context.Context, dial DialFunc, self types.NodeID, oid types.Objec
 		return fmt.Errorf("transport: size mismatch: sender %d, local %d", size, dst.Size())
 	}
 
+	end := size
+	if length > 0 {
+		end = offset + length
+	}
 	got := offset
 	chunk := pool.Get(DefaultChunkSize)
 	defer func() { pool.Put(chunk) }()
@@ -344,10 +416,12 @@ func Pull(ctx context.Context, dial DialFunc, self types.NodeID, oid types.Objec
 		}
 		switch status {
 		case frameEOF:
-			if got != size {
-				return fmt.Errorf("transport: short stream: %d of %d bytes", got, size)
+			if got != end {
+				return fmt.Errorf("transport: short stream: %d of %d bytes", got-offset, end-offset)
 			}
-			dst.Seal()
+			if sealAtEOF {
+				dst.Seal()
+			}
 			return nil
 		case frameErr:
 			return readErrorFrame(br)
@@ -373,10 +447,10 @@ func Pull(ctx context.Context, dial DialFunc, self types.NodeID, oid types.Objec
 			if _, err := io.ReadFull(br, chunk[:n]); err != nil {
 				return fmt.Errorf("transport: read chunk: %w", err)
 			}
-			if got+int64(n) > size {
-				return errors.New("transport: sender overran object size")
+			if got+int64(n) > end {
+				return errors.New("transport: sender overran requested range")
 			}
-			if err := dst.Append(chunk[:n]); err != nil {
+			if err := dst.WriteAt(chunk[:n], got); err != nil {
 				return err
 			}
 			got += int64(n)

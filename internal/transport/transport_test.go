@@ -268,11 +268,128 @@ func TestZeroSizeObject(t *testing.T) {
 	}
 }
 
-// pullRequest encodes the receiver's request frame for raw-socket tests.
-func pullRequest(oid types.ObjectID, offset int64, receiver string) []byte {
+func TestPullRangeStripes(t *testing.T) {
+	f := startFixture(t)
+	oid := types.ObjectIDFromString("x")
+	data := payload(400000)
+	f.add(oid, buffer.FromBytes(data))
+	dst := buffer.NewChunked(int64(len(data)), 64<<10)
+	// Three concurrent workers drain disjoint claimed ranges, like a
+	// striped Get across three complete copies.
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				off, n, ok := dst.ClaimNext(128 << 10)
+				if !ok {
+					return
+				}
+				if err := PullRange(context.Background(), dialTo(f.addr), "recv", oid, off, n, dst); err != nil {
+					t.Error(err)
+					dst.ReleaseClaim(off, n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if dst.Present() != int64(len(data)) {
+		t.Fatalf("present %d, want %d", dst.Present(), len(data))
+	}
+	dst.Seal()
+	if !bytes.Equal(dst.Bytes(), data) {
+		t.Fatal("striped pull mismatch")
+	}
+	stats := f.srv.Stats()
+	if stats.RangedPulls < 3 || stats.Pulls != stats.RangedPulls {
+		t.Fatalf("stats %+v, want >=3 ranged pulls", stats)
+	}
+}
+
+func TestPullRangeFromPartialSource(t *testing.T) {
+	f := startFixture(t)
+	oid := types.ObjectIDFromString("x")
+	data := payload(200000)
+	src := buffer.New(int64(len(data)))
+	f.add(oid, src)
+	dst := buffer.NewChunked(int64(len(data)), 64<<10)
+	done := make(chan error, 1)
+	// Request a tail range (chunk-aligned, as ClaimNext hands out) before
+	// the source has produced it: the sender must block at its watermark
+	// and stream once available.
+	const tail = 2 * 64 << 10
+	go func() {
+		done <- PullRange(context.Background(), dialTo(f.addr), "recv", oid, tail, int64(len(data))-tail, dst)
+	}()
+	for off := 0; off < len(data); off += 50000 {
+		src.Append(data[off : off+50000])
+		time.Sleep(time.Millisecond)
+	}
+	src.Seal()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst.Bytes()[tail:], data[tail:]) {
+		t.Fatal("ranged pull mismatch")
+	}
+	if dst.Watermark() != 0 {
+		t.Fatalf("watermark %d, want 0 (hole at front)", dst.Watermark())
+	}
+}
+
+func TestPullRangeValidation(t *testing.T) {
+	f := startFixture(t)
+	oid := types.ObjectIDFromString("x")
+	f.add(oid, buffer.FromBytes(payload(1000)))
+	dst := buffer.New(1000)
+	if err := PullRange(context.Background(), dialTo(f.addr), "r", oid, 0, 0, dst); err == nil {
+		t.Fatal("zero-length range accepted")
+	}
+	if err := PullRange(context.Background(), dialTo(f.addr), "r", oid, 900, 200, dst); err == nil {
+		t.Fatal("past-end range accepted")
+	}
+}
+
+// A hostile range (offset+length past the object end) must get an error
+// frame from the server, not panic or overrun.
+func TestWireFormatHostileRangeRejected(t *testing.T) {
+	f := startFixture(t)
+	oid := types.ObjectIDFromString("x")
+	f.add(oid, buffer.FromBytes(payload(100)))
+	conn, err := net.Dial("tcp", f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A plainly past-end range, and a length crafted so offset+length
+	// overflows int64 (which would sneak past a naive end > size check).
+	for _, length := range []int64{1 << 40, (1<<63 - 1) - 40} {
+		if _, err := conn.Write(pullRequest(oid, 50, length, "r")); err != nil {
+			t.Fatal(err)
+		}
+		var status [1]byte
+		if _, err := io.ReadFull(conn, status[:]); err != nil {
+			t.Fatal(err)
+		}
+		if status[0] != frameErr {
+			t.Fatalf("length %d: status 0x%02x, want error frame", length, status[0])
+		}
+		conn.Close()
+		if conn, err = net.Dial("tcp", f.addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// pullRequest encodes the receiver's request frame for raw-socket tests
+// (length 0 = pull to end of object).
+func pullRequest(oid types.ObjectID, offset, length int64, receiver string) []byte {
 	req := []byte{reqPull}
 	req = append(req, oid[:]...)
 	req = binary.BigEndian.AppendUint64(req, uint64(offset))
+	req = binary.BigEndian.AppendUint64(req, uint64(length))
 	req = binary.BigEndian.AppendUint16(req, uint16(len(receiver)))
 	return append(req, receiver...)
 }
@@ -289,7 +406,7 @@ func TestWireFormatSizeFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.Write(pullRequest(oid, 0, "r")); err != nil {
+	if _, err := conn.Write(pullRequest(oid, 0, 0, "r")); err != nil {
 		t.Fatal(err)
 	}
 	var hdr [9]byte
@@ -313,7 +430,7 @@ func TestWireFormatErrorFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.Write(pullRequest(types.ObjectIDFromString("missing"), 0, "r")); err != nil {
+	if _, err := conn.Write(pullRequest(types.ObjectIDFromString("missing"), 0, 0, "r")); err != nil {
 		t.Fatal(err)
 	}
 	var hdr [5]byte
@@ -343,7 +460,7 @@ func TestWireFormatHostileOffsetRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.Write(pullRequest(oid, -1, "r")); err != nil {
+	if _, err := conn.Write(pullRequest(oid, -1, 0, "r")); err != nil {
 		t.Fatal(err)
 	}
 	var status [1]byte
@@ -374,7 +491,7 @@ func TestPullRejectsUnknownFrame(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		io.Copy(io.Discard, io.LimitReader(conn, int64(1+types.ObjectIDSize+8+2+1)))
+		io.Copy(io.Discard, io.LimitReader(conn, int64(1+types.ObjectIDSize+8+8+2+1)))
 		conn.Write([]byte{0x7F, 0, 0, 0, 0, 0, 0, 0, 0}) // bogus status byte
 	}()
 	dst := buffer.New(100)

@@ -33,6 +33,7 @@ const (
 	MethodPutComplete // object fully present on a node: mark complete
 	MethodPutInline   // small-object fast path: store payload in the directory
 	MethodAcquire     // atomically lease a sender location for a receiver
+	MethodAcquireMany // atomically lease up to Num complete-copy senders for a striped pull
 	MethodRelease     // transfer finished: return sender, update receiver progress
 	MethodAbort       // transfer failed: optionally drop the dead sender location
 	MethodAbortDown   // sender saw the receiver's socket die: clear its lease/location
