@@ -387,6 +387,79 @@ func BenchmarkStripedGet(b *testing.B) {
 	}
 }
 
+// BenchmarkGetRef measures the zero-copy handle path on a warmed local
+// complete copy. The acceptance bar — asserted by the bench-smoke CI job —
+// is 0 B/op and 0 allocs/op: no payload bytes are copied and the handle
+// itself is pooled. Contrast with BenchmarkGetRefCopy, where the legacy
+// Get of the same object copies the full payload every op.
+func BenchmarkGetRef(b *testing.B) {
+	c, oid, size := benchWarmLocalCopy(b)
+	ctx := context.Background()
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, err := c.Node(1).GetRef(ctx, oid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ref.Bytes()[0] != 42 {
+			b.Fatal("bad payload")
+		}
+		ref.Release()
+	}
+}
+
+// BenchmarkGetRefCopy is the legacy contrast for BenchmarkGetRef: the
+// same warmed local object through Get, which materializes a private
+// copy — one full object of allocation and memcpy per op.
+func BenchmarkGetRefCopy(b *testing.B) {
+	c, oid, size := benchWarmLocalCopy(b)
+	ctx := context.Background()
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := c.Node(1).Get(ctx, oid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out[0] != 42 {
+			b.Fatal("bad payload")
+		}
+	}
+}
+
+// benchWarmLocalCopy puts one object and warms a complete copy of it
+// into node 1's store, so the measured loop exercises only the local
+// read path.
+func benchWarmLocalCopy(b *testing.B) (*hoplite.Cluster, hoplite.ObjectID, int64) {
+	b.Helper()
+	c, err := hoplite.StartLocalCluster(2, hoplite.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	ctx := context.Background()
+	const size = 16 << 20
+	data := make([]byte, size)
+	data[0] = 42
+	oid := hoplite.RandomObjectID()
+	if err := c.Node(0).Put(ctx, oid, data); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Node(1).WaitLocal(ctx, oid); err != nil {
+		b.Fatal(err)
+	}
+	// Populate the handle pool so the measured loop is steady state.
+	ref, err := c.Node(1).GetRef(ctx, oid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref.Release()
+	return c, oid, size
+}
+
 func BenchmarkSmallObjectInline(b *testing.B) {
 	c, err := hoplite.StartLocalCluster(2, hoplite.Options{})
 	if err != nil {

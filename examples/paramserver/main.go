@@ -58,10 +58,12 @@ func run(useHoplite bool) (float64, error) {
 	}
 	jobs := make([]chan hoplite.ObjectID, nodes)
 	results := make(chan result, nodes)
-	done := make(chan struct{})
-	defer close(done)
+	// Defers run LIFO: wg.Wait must be registered before close(done) so
+	// the workers see the shutdown signal before we wait for them.
 	var wg sync.WaitGroup
 	defer wg.Wait()
+	done := make(chan struct{})
+	defer close(done)
 	for w := 1; w < nodes; w++ {
 		jobs[w] = make(chan hoplite.ObjectID, 2)
 		wg.Add(1)
@@ -73,13 +75,25 @@ func run(useHoplite bool) (float64, error) {
 				case <-done:
 					return
 				case m := <-jobs[w]:
-					if _, err := node.GetImmutable(ctx, m); err != nil {
+					// Zero-copy model read: the ref pins the store copy
+					// for exactly the duration of the (simulated) pass.
+					ref, err := node.GetRef(ctx, m)
+					if err != nil {
 						results <- result{w, hoplite.ObjectID{}, err}
 						return
 					}
 					time.Sleep(computeT) // forward+backward pass
+					ref.Release()
+					// Stream the gradient out instead of materializing it.
 					g := hoplite.RandomObjectID()
-					if err := node.Put(ctx, g, model); err != nil {
+					gw, err := node.Create(ctx, g, int64(len(model)))
+					if err == nil {
+						_, err = gw.Write(model)
+					}
+					if err == nil {
+						err = gw.Seal()
+					}
+					if err != nil {
 						results <- result{w, g, err}
 						return
 					}
@@ -125,13 +139,18 @@ func run(useHoplite bool) (float64, error) {
 			workers = append(workers, res.worker)
 		}
 		if useHoplite {
+			// Async reduce: the coordinator runs in the background; the
+			// parameter server applies the folded gradient through a
+			// pinned zero-copy ref once the future resolves.
 			sum := hoplite.RandomObjectID()
-			if _, err := ps.Reduce(ctx, sum, grads, len(grads), hoplite.SumF32); err != nil {
+			if _, err := ps.ReduceAsync(ctx, sum, grads, len(grads), hoplite.SumF32).Await(ctx); err != nil {
 				return 0, err
 			}
-			if err := ps.WaitLocal(ctx, sum); err != nil {
+			ref, err := ps.GetRef(ctx, sum)
+			if err != nil {
 				return 0, err
 			}
+			ref.Release()
 			ps.Delete(ctx, sum)
 		} else {
 			for _, g := range grads { // Ray: apply one at a time

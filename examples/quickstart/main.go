@@ -1,12 +1,13 @@
-// Quickstart: a four-node local Hoplite cluster — put an object, get it
-// elsewhere, broadcast it everywhere, and reduce per-node gradients.
+// Quickstart: a four-node local Hoplite cluster on the handle-based API —
+// stream an object in with an ObjectWriter, read it elsewhere through a
+// pinned zero-copy ObjectRef, broadcast it everywhere with futures, and
+// reduce per-node gradients asynchronously.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
-	"sync"
 	"time"
 
 	"hoplite"
@@ -22,39 +23,54 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
-	// 1. Put on node 0, Get on node 3 — the object directory finds it.
+	// 1. Streaming Put on node 0: the producer writes through an
+	// io.Writer, never materializing the full payload, while receivers
+	// can already pipeline off the partial object. Read on node 3 via a
+	// pinned zero-copy ref.
 	weights := hoplite.ObjectIDFromString("weights-v1")
 	payload := types.EncodeF32(make([]float32, 1<<20)) // 4 MB of zeros
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	if err := cluster.Node(0).Put(ctx, weights, payload); err != nil {
-		log.Fatalf("put: %v", err)
-	}
-	got, err := cluster.Node(3).Get(ctx, weights)
+	w, err := cluster.Node(0).Create(ctx, weights, int64(len(payload)))
 	if err != nil {
-		log.Fatalf("get: %v", err)
+		log.Fatalf("create: %v", err)
 	}
-	fmt.Printf("node 3 fetched %d bytes of %v\n", len(got), weights)
+	for off := 0; off < len(payload); off += 1 << 20 {
+		end := min(off+1<<20, len(payload))
+		if _, err := w.Write(payload[off:end]); err != nil {
+			log.Fatalf("write: %v", err)
+		}
+	}
+	if err := w.Seal(); err != nil {
+		log.Fatalf("seal: %v", err)
+	}
+	ref, err := cluster.Node(3).GetRef(ctx, weights)
+	if err != nil {
+		log.Fatalf("get ref: %v", err)
+	}
+	fmt.Printf("node 3 sees %d bytes of %v with zero copies\n", ref.Size(), weights)
+	ref.Release()
 
-	// 2. Broadcast: every node Gets the same object; receivers relay to
-	// each other so node 0's uplink is not the bottleneck.
-	var wg sync.WaitGroup
+	// 2. Broadcast: every node takes a ref future; receivers relay to
+	// each other so node 0's uplink is not the bottleneck, and no
+	// goroutine is parked per waiter.
 	t0 := time.Now()
+	futs := make([]*hoplite.RefFuture, 0, cluster.Size()-1)
 	for i := 1; i < cluster.Size(); i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if _, err := cluster.Node(i).GetImmutable(ctx, weights); err != nil {
-				log.Fatalf("node %d broadcast get: %v", i, err)
-			}
-		}(i)
+		futs = append(futs, cluster.Node(i).GetRefAsync(ctx, weights))
 	}
-	wg.Wait()
+	for i, fut := range futs {
+		r, err := fut.Await(ctx)
+		if err != nil {
+			log.Fatalf("node %d broadcast get: %v", i+1, err)
+		}
+		r.Release()
+	}
 	fmt.Printf("broadcast to %d nodes in %v\n", cluster.Size()-1, time.Since(t0))
 
 	// 3. Reduce: each node puts a gradient; node 0 folds them with a
-	// dynamically built tree and fetches the sum.
+	// dynamically built tree — asynchronously — and reads the sum.
 	grads := make([]hoplite.ObjectID, cluster.Size())
 	for i := range grads {
 		xs := make([]float32, 1024)
@@ -67,14 +83,16 @@ func main() {
 		}
 	}
 	sum := hoplite.ObjectIDFromString("grad-sum")
-	used, err := cluster.Node(0).Reduce(ctx, sum, grads, len(grads), hoplite.SumF32)
+	fut := cluster.Node(0).ReduceAsync(ctx, sum, grads, len(grads), hoplite.SumF32)
+	used, err := fut.Await(ctx)
 	if err != nil {
 		log.Fatalf("reduce: %v", err)
 	}
-	raw, err := cluster.Node(0).Get(ctx, sum)
+	sumRef, err := cluster.Node(0).GetRef(ctx, sum)
 	if err != nil {
 		log.Fatalf("get sum: %v", err)
 	}
+	defer sumRef.Release()
 	fmt.Printf("reduced %d gradients; sum[0] = %v (want %v)\n",
-		len(used), types.DecodeF32(raw)[0], float32(1+2+3+4))
+		len(used), types.DecodeF32(sumRef.Bytes())[0], float32(1+2+3+4))
 }

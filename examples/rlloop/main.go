@@ -36,10 +36,12 @@ func main() {
 	// rollout(policy) -> gradient: fetch the policy, "simulate", emit a
 	// gradient of the same shape.
 	tc.Register("rollout", func(inv *task.Invocation) error {
-		if _, err := inv.Node().GetImmutable(inv.Ctx, inv.ArgID(0)); err != nil {
+		ref, err := inv.ArgRef(0) // zero-copy policy read, pinned for the rollout
+		if err != nil {
 			return err
 		}
 		time.Sleep(10 * time.Millisecond) // environment simulation
+		ref.Release()
 		grad := make([]float32, policyLen)
 		for i := range grad {
 			grad[i] = 0.01
@@ -68,8 +70,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := driver.GetImmutable(ctx, sum); err != nil {
+		if ref, err := driver.GetRef(ctx, sum); err != nil {
 			log.Fatal(err)
+		} else {
+			ref.Release()
 		}
 		// "policy += reduced / batch": update and publish the new policy.
 		policy = hoplite.ObjectIDFromString(fmt.Sprintf("policy-%d", step+1))

@@ -66,10 +66,12 @@ func main() {
 				node := cluster.Node(w)
 				wctx, wcancel := context.WithTimeout(ctx, 3*time.Second)
 				defer wcancel()
-				if _, err := node.GetImmutable(wctx, query); err != nil {
+				ref, err := node.GetRef(wctx, query)
+				if err != nil {
 					return // this model is down; the ensemble continues
 				}
 				time.Sleep(5 * time.Millisecond) // inference
+				ref.Release()
 				mu.Lock()
 				votes[w%10]++
 				answered++

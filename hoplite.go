@@ -46,10 +46,24 @@ type (
 	// OpKind is the operation kind of a ReduceOp.
 	OpKind = types.OpKind
 	// Node is a Hoplite object-store node; see the methods on core.Node:
-	// Put, Get, GetImmutable, Reduce, Delete.
+	// Put, Create, Get, GetRef, GetAsync, GetAll, Reduce, ReduceAsync,
+	// Delete.
 	Node = core.Node
 	// Config configures a standalone Node.
 	Config = core.Config
+	// ObjectRef is a ref-counted, pinned, zero-copy read-only view of an
+	// object, returned by Node.GetRef / Node.GetRefAsync. Release it.
+	ObjectRef = core.ObjectRef
+	// ObjectWriter is the streaming producer handle returned by
+	// Node.Create: io.Writer + Seal/Abort; readers pipeline off the
+	// partial object while it is being written.
+	ObjectWriter = core.ObjectWriter
+	// RefFuture resolves to a pinned *ObjectRef (Node.GetRefAsync).
+	RefFuture = core.Future[*core.ObjectRef]
+	// BytesFuture resolves to a private payload copy (Node.GetAsync).
+	BytesFuture = core.Future[[]byte]
+	// ReduceFuture resolves to the sources used (Node.ReduceAsync).
+	ReduceFuture = core.Future[[]types.ObjectID]
 )
 
 // Re-exported enums and constructors.
@@ -116,6 +130,27 @@ type Options struct {
 	PipelineBlock int
 }
 
+// coreConfig translates the cluster options into one node's core.Config.
+// Every node construction — initial boot and restart — goes through this
+// single helper so a new knob cannot be silently dropped from one path.
+func (o Options) coreConfig(fab netem.Fabric, name string, ln net.Listener, hostShard bool, shards []string) core.Config {
+	return core.Config{
+		Fabric:          fab,
+		Name:            name,
+		Listener:        ln,
+		HostShard:       hostShard,
+		DirectoryShards: shards,
+		SmallObject:     o.SmallObject,
+		PipelineBlock:   o.PipelineBlock,
+		StoreCapacity:   o.StoreCapacity,
+		StripeThreshold: o.StripeThreshold,
+		MaxSources:      o.MaxSources,
+		Latency:         o.Latency,
+		Bandwidth:       o.Bandwidth,
+		ReduceDegree:    o.ReduceDegree,
+	}
+}
+
 // Cluster is a set of in-process Hoplite nodes sharing a fabric and a
 // sharded directory (one shard per node).
 type Cluster struct {
@@ -171,21 +206,7 @@ func StartLocalCluster(n int, opts Options) (*Cluster, error) {
 	}
 	c.shards = addrs[:shardNodes]
 	for i := 0; i < n; i++ {
-		node, err := core.NewNode(core.Config{
-			Fabric:          fab,
-			Name:            fmt.Sprintf("node-%d", i),
-			Listener:        lns[i],
-			HostShard:       i < shardNodes,
-			DirectoryShards: c.shards,
-			SmallObject:     opts.SmallObject,
-			PipelineBlock:   opts.PipelineBlock,
-			StoreCapacity:   opts.StoreCapacity,
-			StripeThreshold: opts.StripeThreshold,
-			MaxSources:      opts.MaxSources,
-			Latency:         opts.Latency,
-			Bandwidth:       opts.Bandwidth,
-			ReduceDegree:    opts.ReduceDegree,
-		})
+		node, err := core.NewNode(opts.coreConfig(fab, fmt.Sprintf("node-%d", i), lns[i], i < shardNodes, c.shards))
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -244,19 +265,7 @@ func (c *Cluster) RestartNode(i int) error {
 	c.nodes[i].Close()
 	name := fmt.Sprintf("node-%d", i)
 	c.em.Revive(name)
-	node, err := core.NewNode(core.Config{
-		Fabric:          c.fab,
-		Name:            name,
-		DirectoryShards: c.shards,
-		SmallObject:     c.opts.SmallObject,
-		PipelineBlock:   c.opts.PipelineBlock,
-		StoreCapacity:   c.opts.StoreCapacity,
-		StripeThreshold: c.opts.StripeThreshold,
-		MaxSources:      c.opts.MaxSources,
-		Latency:         c.opts.Latency,
-		Bandwidth:       c.opts.Bandwidth,
-		ReduceDegree:    c.opts.ReduceDegree,
-	})
+	node, err := core.NewNode(c.opts.coreConfig(c.fab, name, nil, false, c.shards))
 	if err != nil {
 		return err
 	}
@@ -267,19 +276,26 @@ func (c *Cluster) RestartNode(i int) error {
 // AllReduce folds num of the source objects into target with op and
 // distributes the result to every node: the paper's allreduce is a reduce
 // concatenated with a broadcast (§3.4.3). It returns the sources used.
+// The broadcast leg is future-driven: each node's fetch resolves off its
+// buffer completion watcher instead of a goroutine parked per node.
 func (c *Cluster) AllReduce(ctx context.Context, coordinator int, target ObjectID, sources []ObjectID, num int, op ReduceOp) ([]ObjectID, error) {
 	used, err := c.nodes[coordinator].Reduce(ctx, target, sources, num, op)
 	if err != nil {
 		return nil, err
 	}
-	errs := make(chan error, len(c.nodes))
-	for _, n := range c.nodes {
-		go func(n *core.Node) { errs <- n.WaitLocal(ctx, target) }(n)
+	futs := make([]*RefFuture, len(c.nodes))
+	for i, n := range c.nodes {
+		futs[i] = n.GetRefAsync(ctx, target)
 	}
-	for range c.nodes {
-		if e := <-errs; e != nil && err == nil {
-			err = e
+	for _, f := range futs {
+		ref, e := f.Await(ctx)
+		if e != nil {
+			if err == nil {
+				err = e
+			}
+			continue
 		}
+		ref.Release()
 	}
 	return used, err
 }

@@ -74,11 +74,13 @@ func runPS(sc Scale, cfg psConfig) (float64, error) {
 				case <-done:
 					return
 				case j := <-jobs[w]:
-					if _, err := node.GetImmutable(ctx, j.model); err != nil {
+					ref, err := node.GetRef(ctx, j.model)
+					if err != nil {
 						results <- result{w, hoplite.ObjectID{}, err}
 						continue
 					}
 					time.Sleep(cfg.computeT)
+					ref.Release()
 					oid := hoplite.RandomObjectID()
 					if err := node.Put(ctx, oid, update); err != nil {
 						results <- result{w, oid, err}
@@ -156,23 +158,26 @@ func runPS(sc Scale, cfg psConfig) (float64, error) {
 				}
 			}
 		} else {
-			// Samples optimization (IMPALA): gather the rollouts.
-			var gwg sync.WaitGroup
-			gerr := make(chan error, len(batchOIDs))
-			for _, oid := range batchOIDs {
-				gwg.Add(1)
-				go func(oid hoplite.ObjectID) {
-					defer gwg.Done()
-					_, err := ps.GetImmutable(ctx, oid)
-					gerr <- err
-				}(oid)
+			// Samples optimization (IMPALA): gather the rollouts through
+			// zero-copy ref futures — all fetches in flight at once, no
+			// goroutine parked per transfer.
+			futs := make([]*hoplite.RefFuture, len(batchOIDs))
+			for i, oid := range batchOIDs {
+				futs[i] = ps.GetRefAsync(ctx, oid)
 			}
-			gwg.Wait()
-			close(gerr)
-			for err := range gerr {
+			var firstErr error
+			for _, fut := range futs {
+				ref, err := fut.Await(ctx)
 				if err != nil {
-					return 0, err
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue
 				}
+				ref.Release()
+			}
+			if firstErr != nil {
+				return 0, firstErr
 			}
 		}
 		for _, oid := range batchOIDs {
@@ -320,11 +325,13 @@ func serving(sc Scale, c *hoplite.Cluster, queries int, inferT time.Duration, ho
 				node := c.Node(w)
 				wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
 				defer wcancel()
-				if _, err := node.GetImmutable(wctx, qoid); err != nil {
+				qref, err := node.GetRef(wctx, qoid)
+				if err != nil {
 					votes <- err
 					return
 				}
 				time.Sleep(inferT)
+				qref.Release()
 				vote := hoplite.ObjectIDFromString(fmt.Sprintf("vote-%d-%d-%v", q, w, hopliteMode))
 				votes <- node.Put(wctx, vote, []byte{byte(w % 8)}) // tiny: inline fast path
 			}(w, qoid)

@@ -54,6 +54,14 @@ type Buffer struct {
 	present   int64 // total bytes written, contiguous or not
 	sealed    bool
 	err       error
+	// refs counts live reader pins (ObjectRef handles). The store skips
+	// buffers with live refs during LRU eviction, so a pinned read-only
+	// view is never invalidated under its reader.
+	refs int
+	// watchers are completion callbacks registered with OnDone, fired
+	// exactly once when the buffer seals (nil) or fails (the error). They
+	// let futures resolve without parking a goroutine per waiter.
+	watchers []func(error)
 }
 
 // New returns an empty buffer for an object of the given size, using the
@@ -315,15 +323,25 @@ func (b *Buffer) ReleaseClaim(off, length int64) {
 // Seal marks the buffer complete. All bytes must have been written.
 func (b *Buffer) Seal() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.err != nil {
+		b.mu.Unlock()
 		return
 	}
 	if b.watermark != int64(len(b.data)) {
+		// Unlock before panicking: a caller that recovers (tests of
+		// writer misuse do) must not be left holding a dead buffer whose
+		// every later method call deadlocks.
+		b.mu.Unlock()
 		panic("buffer: seal before all bytes written")
 	}
 	b.sealed = true
 	b.signalLocked()
+	ws := b.watchers
+	b.watchers = nil
+	b.mu.Unlock()
+	for _, fn := range ws {
+		fn(nil)
+	}
 }
 
 // Fail aborts the buffer, waking all waiters with err. It is a no-op on a
@@ -334,12 +352,67 @@ func (b *Buffer) Fail(err error) {
 		err = types.ErrAborted
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.sealed || b.err != nil {
+		b.mu.Unlock()
 		return
 	}
 	b.err = err
 	b.signalLocked()
+	ws := b.watchers
+	b.watchers = nil
+	b.mu.Unlock()
+	for _, fn := range ws {
+		fn(err)
+	}
+}
+
+// Ref takes one reader pin on the buffer. While Refs is non-zero the
+// store will not evict the buffer, so a zero-copy view handed to a reader
+// stays backed by live, unrecycled memory. Every Ref must be balanced by
+// exactly one Unref.
+func (b *Buffer) Ref() {
+	b.mu.Lock()
+	b.refs++
+	b.mu.Unlock()
+}
+
+// Unref drops one reader pin.
+func (b *Buffer) Unref() {
+	b.mu.Lock()
+	if b.refs <= 0 {
+		b.mu.Unlock()
+		panic("buffer: unref without ref")
+	}
+	b.refs--
+	b.mu.Unlock()
+}
+
+// Refs returns the number of live reader pins.
+func (b *Buffer) Refs() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.refs
+}
+
+// OnDone registers fn to run exactly once when the buffer seals (nil) or
+// fails (the error). If the buffer is already done, fn runs synchronously
+// before OnDone returns; otherwise it runs in whichever goroutine seals or
+// fails the buffer, so fn must be cheap and must not block. This is the
+// event-driven alternative to parking a goroutine in WaitComplete.
+func (b *Buffer) OnDone(fn func(error)) {
+	b.mu.Lock()
+	switch {
+	case b.err != nil:
+		err := b.err
+		b.mu.Unlock()
+		fn(err)
+	case b.sealed:
+		b.mu.Unlock()
+		fn(nil)
+	default:
+		b.watchers = append(b.watchers, fn)
+		b.mu.Unlock()
+	}
 }
 
 // Reset rewinds a failed buffer so a new writer can retry from offset,

@@ -559,3 +559,98 @@ func BenchmarkAppend64KB(b *testing.B) {
 		buf.Seal()
 	}
 }
+
+func TestRefCounting(t *testing.T) {
+	b := FromBytes([]byte("abc"))
+	if b.Refs() != 0 {
+		t.Fatalf("fresh buffer refs = %d", b.Refs())
+	}
+	b.Ref()
+	b.Ref()
+	if b.Refs() != 2 {
+		t.Fatalf("refs = %d, want 2", b.Refs())
+	}
+	b.Unref()
+	b.Unref()
+	if b.Refs() != 0 {
+		t.Fatalf("refs = %d, want 0", b.Refs())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced Unref did not panic")
+		}
+	}()
+	b.Unref()
+}
+
+func TestOnDoneSeal(t *testing.T) {
+	b := New(2)
+	var got []error
+	b.OnDone(func(err error) { got = append(got, err) })
+	if len(got) != 0 {
+		t.Fatal("watcher fired before completion")
+	}
+	b.Append([]byte("hi"))
+	b.Seal()
+	if len(got) != 1 || got[0] != nil {
+		t.Fatalf("watcher calls after seal: %v", got)
+	}
+	// Registration after completion fires synchronously.
+	b.OnDone(func(err error) { got = append(got, err) })
+	if len(got) != 2 || got[1] != nil {
+		t.Fatalf("late watcher calls: %v", got)
+	}
+}
+
+func TestOnDoneFail(t *testing.T) {
+	b := New(2)
+	var got []error
+	b.OnDone(func(err error) { got = append(got, err) })
+	b.Fail(types.ErrDeleted)
+	if len(got) != 1 || !errors.Is(got[0], types.ErrDeleted) {
+		t.Fatalf("watcher calls after fail: %v", got)
+	}
+	b.OnDone(func(err error) { got = append(got, err) })
+	if len(got) != 2 || !errors.Is(got[1], types.ErrDeleted) {
+		t.Fatalf("late watcher calls: %v", got)
+	}
+	// Fail fires each watcher exactly once.
+	b.Fail(types.ErrAborted)
+	if len(got) != 2 {
+		t.Fatalf("watcher re-fired: %v", got)
+	}
+}
+
+func TestOnDoneSurvivesReset(t *testing.T) {
+	b := NewChunked(4, 4)
+	b.Append([]byte("ab"))
+	var got []error
+	b.OnDone(func(err error) { got = append(got, err) })
+	b.Reset(0) // new generation restart: watchers must carry over
+	if len(got) != 0 {
+		t.Fatalf("watcher fired on reset: %v", got)
+	}
+	b.Append([]byte("wxyz"))
+	b.Seal()
+	if len(got) != 1 || got[0] != nil {
+		t.Fatalf("watcher calls after post-reset seal: %v", got)
+	}
+}
+
+// TestSealShortPanicReleasesLock: the short-seal panic must not leave
+// the buffer mutex held — a recovering caller's next method call would
+// otherwise deadlock.
+func TestSealShortPanicReleasesLock(t *testing.T) {
+	b := New(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("short seal did not panic")
+			}
+		}()
+		b.Seal()
+	}()
+	if b.Watermark() != 0 { // deadlocks here if Seal leaked the lock
+		t.Fatalf("watermark %d", b.Watermark())
+	}
+}

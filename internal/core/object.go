@@ -26,15 +26,15 @@ type pull struct {
 }
 
 // Put stores an immutable object (Table 1). Objects below the small-object
-// threshold go inline into the directory (§3.2); larger objects are copied
-// into the local store in pipeline blocks, with the partial location
+// threshold go inline into the directory (§3.2); larger objects stream
+// through an ObjectWriter in pipeline blocks, with the partial location
 // registered up front so remote receivers can start fetching while the
 // copy is still running (§3.3). The object is pinned locally until Delete.
 func (n *Node) Put(ctx context.Context, oid types.ObjectID, data []byte) error {
 	if int64(len(data)) < n.cfg.SmallObject {
 		return n.dir.PutInline(ctx, oid, data)
 	}
-	buf, err := n.store.Create(oid, int64(len(data)), true)
+	w, err := n.Create(ctx, oid, int64(len(data)))
 	if err != nil {
 		if errors.Is(err, types.ErrExists) {
 			// Idempotent re-put (e.g. a restarted task re-producing its
@@ -48,32 +48,10 @@ func (n *Node) Put(ctx context.Context, oid types.ObjectID, data []byte) error {
 		}
 		return err
 	}
-	n.signalStoreChange()
-	if err := n.dir.PutStarted(ctx, oid, int64(len(data))); err != nil {
-		n.store.Delete(oid)
+	if _, err := w.Write(data); err != nil {
 		return err
 	}
-	// Worker→store copy, block by block; network sends overlap with it.
-	block := n.cfg.PipelineBlock
-	for off := 0; off < len(data); off += block {
-		end := off + block
-		if end > len(data) {
-			end = len(data)
-		}
-		if err := buf.Append(data[off:end]); err != nil {
-			// Mid-copy failure (concurrent Delete or node close): the
-			// location was registered up front, so tear down both the
-			// store entry and the directory location — otherwise remote
-			// receivers keep getting routed to a dead partial copy.
-			n.store.Delete(oid)
-			rctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
-			_ = n.dir.RemoveLocation(rctx, oid)
-			cancel()
-			return err
-		}
-	}
-	buf.Seal()
-	return n.dir.PutComplete(ctx, oid)
+	return w.Seal()
 }
 
 // deleteGrace is how long Get-style operations keep retrying after
@@ -83,60 +61,110 @@ func (n *Node) Put(ctx context.Context, oid types.ObjectID, data []byte) error {
 // receivers ride through the window instead of surfacing a spurious error.
 const deleteGrace = 1500 * time.Millisecond
 
-// getBuffer returns a complete local buffer for oid, retrying across
-// transient deletions.
-func (n *Node) getBuffer(ctx context.Context, oid types.ObjectID) (*buffer.Buffer, error) {
+// retryTransient runs op, retrying while it fails with a transient
+// deletion error (ErrDeleted/ErrAborted) inside the deleteGrace window.
+// Any other error, a ctx cancellation, or the window expiring surfaces
+// the last error. Every Get-shaped operation shares this one loop.
+func retryTransient[T any](ctx context.Context, op func() (T, error)) (T, error) {
 	deadline := time.Now().Add(deleteGrace)
 	for {
-		buf, err := n.ensureLocal(ctx, oid)
+		v, err := op()
 		if err == nil {
-			err = buf.WaitComplete(ctx)
-			if err == nil {
-				return buf, nil
-			}
+			return v, nil
 		}
 		if !errors.Is(err, types.ErrDeleted) && !errors.Is(err, types.ErrAborted) {
-			return nil, err
+			return v, err
 		}
 		if time.Now().After(deadline) {
-			return nil, err
+			return v, err
 		}
 		select {
 		case <-time.After(50 * time.Millisecond):
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			var zero T
+			return zero, ctx.Err()
 		}
 	}
+}
+
+// getBuffer returns a complete local buffer for oid, retrying across
+// transient deletions.
+func (n *Node) getBuffer(ctx context.Context, oid types.ObjectID) (*buffer.Buffer, error) {
+	return retryTransient(ctx, func() (*buffer.Buffer, error) {
+		buf, err := n.ensureLocal(ctx, oid)
+		if err != nil {
+			return nil, err
+		}
+		if err := buf.WaitComplete(ctx); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	})
+}
+
+// GetRef returns a pinned, zero-copy, read-only view of the object,
+// blocking until the object is fully present locally. The underlying
+// store copy cannot be evicted while the ref is held; the caller must
+// Release it. This is the handle form of the paper's immutable-get
+// optimization (§3.3): no final store→worker copy is made.
+func (n *Node) GetRef(ctx context.Context, oid types.ObjectID) (*ObjectRef, error) {
+	// Fast path — the object is local and complete: pin it under the
+	// store lock and hand out a pooled handle. Zero allocations, zero
+	// copies (BenchmarkGetRef asserts this stays true).
+	if buf, ok := n.store.Acquire(oid); ok {
+		if buf.Complete() {
+			return newRef(oid, buf), nil
+		}
+		buf.Unref()
+	}
+	return n.getRefSlow(ctx, oid)
+}
+
+func (n *Node) getRefSlow(ctx context.Context, oid types.ObjectID) (*ObjectRef, error) {
+	return retryTransient(ctx, func() (*ObjectRef, error) {
+		if _, err := n.ensureLocal(ctx, oid); err != nil {
+			return nil, err
+		}
+		// Re-acquire through the store so the pin is atomic with the
+		// lookup: ensureLocal's buffer may already have been replaced by
+		// a re-creation, and a complete copy could be evicted between the
+		// pull finishing and the pin landing — Acquire pins whatever entry
+		// is current, and a miss is treated as transient.
+		buf, ok := n.store.Acquire(oid)
+		if !ok {
+			return nil, types.ErrAborted
+		}
+		if err := buf.WaitComplete(ctx); err != nil {
+			buf.Unref()
+			return nil, err
+		}
+		return newRef(oid, buf), nil
+	})
 }
 
 // Get returns a private copy of the object, blocking until it is
 // available. The copy out of the store is pipelined with the inbound
 // transfer (§3.3). Small objects come straight from the directory cache.
+// It is a compat shim over the ref machinery: the store entry is pinned
+// for the duration of the copy-out.
 func (n *Node) Get(ctx context.Context, oid types.ObjectID) ([]byte, error) {
-	deadline := time.Now().Add(deleteGrace)
-	for {
-		out, err := n.getOnce(ctx, oid)
-		if err == nil {
-			return out, nil
-		}
-		if !errors.Is(err, types.ErrDeleted) && !errors.Is(err, types.ErrAborted) {
-			return nil, err
-		}
-		if time.Now().After(deadline) {
-			return nil, err
-		}
-		select {
-		case <-time.After(50 * time.Millisecond):
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-	}
+	return retryTransient(ctx, func() ([]byte, error) { return n.getOnce(ctx, oid) })
 }
 
 func (n *Node) getOnce(ctx context.Context, oid types.ObjectID) ([]byte, error) {
 	buf, err := n.ensureLocal(ctx, oid)
 	if err != nil {
 		return nil, err
+	}
+	// Pin the entry we are streaming from so eviction cannot drop it
+	// mid-copy. If the store entry was replaced (object re-created), keep
+	// streaming the buffer we joined: its writers fail it if superseded.
+	if pinned, ok := n.store.Acquire(oid); ok {
+		if pinned == buf {
+			defer pinned.Unref()
+		} else {
+			pinned.Unref()
+		}
 	}
 	out := make([]byte, buf.Size())
 	var off int64
@@ -154,12 +182,19 @@ func (n *Node) getOnce(ctx context.Context, oid types.ObjectID) ([]byte, error) 
 // GetImmutable returns a read-only view of the object without the final
 // store→worker copy ("optimization for immutable get", §3.3). The caller
 // must not modify the returned slice.
+//
+// Compat shim over GetRef: the returned slice is NOT pinned — after this
+// call returns, store pressure may evict the copy (the bytes stay valid
+// to the Go runtime but the store forgets them). New code should hold an
+// ObjectRef from GetRef instead and Release it when done.
 func (n *Node) GetImmutable(ctx context.Context, oid types.ObjectID) ([]byte, error) {
-	buf, err := n.getBuffer(ctx, oid)
+	ref, err := n.GetRef(ctx, oid)
 	if err != nil {
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	data := ref.Bytes()
+	ref.Release()
+	return data, nil
 }
 
 // WaitLocal blocks until the object is fully present in the local store
@@ -279,7 +314,7 @@ func (n *Node) startPull(ctx context.Context, oid types.ObjectID, p *pull) (*buf
 		case err == nil && ml.Inline != nil:
 			return inline(ml.Inline)
 		case err == nil && len(ml.Senders) >= 2 && ml.Size >= n.cfg.StripeThreshold:
-			buf, cerr := n.store.Create(oid, ml.Size, false)
+			buf, cerr := n.store.CreateChunked(oid, ml.Size, stripeChunk(ml.Size, len(ml.Senders)), false)
 			if cerr != nil {
 				rctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
 				for _, s := range ml.Senders {
@@ -438,6 +473,26 @@ func (n *Node) rebindLease(oid types.ObjectID, p *pull, buf *buffer.Buffer, leas
 	return buf, lease.Gen, true
 }
 
+// stripeChunk picks the claim-grid granularity for a striped pull: the
+// default ledger chunk, shrunk until every leased sender has at least one
+// chunk to claim. Without this, an object smaller than two default chunks
+// but above a low StripeThreshold would lease several senders and then
+// hand the whole ledger to the first worker's claim, degrading to a
+// single active sender that still paid the multi-lease round trips.
+func stripeChunk(size int64, senders int) int64 {
+	chunk := int64(buffer.DefaultLedgerChunk)
+	if senders < 1 {
+		senders = 1
+	}
+	if per := (size + int64(senders) - 1) / int64(senders); per < chunk {
+		chunk = per
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
 // runStripedPull drains one object from several complete copies at once:
 // each leased sender gets a worker that repeatedly claims the next run of
 // missing chunks from the buffer's ledger and issues a ranged pull for it.
@@ -454,7 +509,11 @@ func (n *Node) runStripedPull(oid types.ObjectID, p *pull, buf *buffer.Buffer, m
 		}
 		n.mu.Unlock()
 	}()
-	span := int64(n.cfg.PipelineBlock)
+	// Claims go out one ledger chunk at a time: for small striped objects
+	// the grid was shrunk (stripeChunk) so each sender gets a range, and
+	// a PipelineBlock-sized claim span would undo that by absorbing the
+	// whole grid into the first claim.
+	span := buf.ChunkSize()
 	var wg sync.WaitGroup
 	for _, sender := range ml.Senders {
 		wg.Add(1)

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"hoplite/internal/buffer"
+	"hoplite/internal/types"
+)
+
+// refPool recycles ObjectRef handles so the zero-copy read path allocates
+// nothing in steady state (BenchmarkGetRef asserts 0 B/op). A handle
+// returns to the pool on Release; using a ref after releasing it is a
+// caller bug, guarded by a released flag where cheap.
+var refPool = sync.Pool{New: func() any { return new(ObjectRef) }}
+
+// ObjectRef is a ref-counted, read-only view over an object in the local
+// store — the handle form of the paper's "immutable get" optimization
+// (§3.3): no store→worker copy is ever made. While the ref is held the
+// store will not evict the underlying buffer (the copy is pinned), so the
+// view stays backed by live memory even under store pressure; this is the
+// fix for the historical GetImmutable hazard where LRU eviction could
+// recycle a slice under a live reader.
+//
+// The caller must not modify the bytes and must call Release exactly once
+// when done; a released ref must not be used again.
+type ObjectRef struct {
+	oid      types.ObjectID
+	buf      *buffer.Buffer
+	released atomic.Bool
+}
+
+// newRef wraps a complete, already-ref'd buffer in a pooled handle.
+func newRef(oid types.ObjectID, buf *buffer.Buffer) *ObjectRef {
+	r := refPool.Get().(*ObjectRef)
+	r.oid = oid
+	r.buf = buf
+	r.released.Store(false)
+	return r
+}
+
+// OID returns the ID of the referenced object.
+func (r *ObjectRef) OID() types.ObjectID { return r.oid }
+
+// Size returns the object size in bytes.
+func (r *ObjectRef) Size() int64 { return r.checked().Size() }
+
+// Bytes returns the complete payload without copying. The slice is valid
+// until Release and must be treated as read-only.
+func (r *ObjectRef) Bytes() []byte { return r.checked().Bytes() }
+
+// ReadAt implements io.ReaderAt over the payload. It never blocks: the
+// referenced object is always complete.
+func (r *ObjectRef) ReadAt(p []byte, off int64) (int, error) {
+	data := r.Bytes()
+	if off < 0 {
+		return 0, types.ErrAborted
+	}
+	if off >= int64(len(data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Reader returns an io.Reader streaming the payload from the start.
+func (r *ObjectRef) Reader() io.Reader { return io.NewSectionReader(r, 0, r.Size()) }
+
+// Release drops the pin, making the copy evictable again, and recycles
+// the handle. Release exactly once: handles are pooled, so a second
+// Release is a bug on par with a double free — it panics when the handle
+// has not been reused yet, and if it has, it silently unpins whatever
+// object the recycled handle now backs. Never touch a ref after
+// releasing it.
+func (r *ObjectRef) Release() {
+	if !r.released.CompareAndSwap(false, true) {
+		panic("core: ObjectRef released twice")
+	}
+	buf := r.buf
+	r.buf = nil
+	r.oid = types.ObjectID{}
+	buf.Unref()
+	refPool.Put(r)
+}
+
+func (r *ObjectRef) checked() *buffer.Buffer {
+	buf := r.buf
+	if r.released.Load() || buf == nil {
+		panic("core: use of released ObjectRef")
+	}
+	return buf
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"hoplite/internal/types"
 	"hoplite/internal/wire"
@@ -79,6 +80,7 @@ func (c *Client) connTo(ctx context.Context, addr string) (*wire.Client, error) 
 		return nil, fmt.Errorf("directory: dial shard %s: %w", addr, err)
 	}
 	wc := wire.NewClient(nc, c.onNotify)
+	wc.OnOrphan(c.compensateOrphan)
 
 	c.mu.Lock()
 	if c.closed {
@@ -107,6 +109,34 @@ func (c *Client) onNotify(m wire.Message) {
 	c.subMu.Unlock()
 	for _, fn := range fns {
 		fn(u)
+	}
+}
+
+// compensateOrphan undoes grants delivered to calls whose requester gave
+// up before the response arrived (ctx canceled mid-acquire). Without it,
+// an acquire racing a cancellation can lease a sender to a receiver that
+// will never pull, and with no lease expiry the object wedges: every
+// later Get blocks behind a lease nobody returns. The granted lease is
+// returned and this node's phantom partial location dropped, exactly as
+// if the sender had observed our socket die (§5.5).
+func (c *Client) compensateOrphan(req, resp wire.Message) {
+	if resp.ErrorOf() != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	switch req.Method {
+	case wire.MethodAcquire:
+		if resp.Sender != "" && resp.Payload == nil {
+			_, _ = c.call(ctx, wire.Message{Method: wire.MethodAbortDown, OID: req.OID, Node: c.self, Sender: resp.Sender})
+		}
+	case wire.MethodAcquireMany:
+		// AbortDown (not Abort) for the same reason as the single-acquire
+		// branch: acquireMany also registered us as a phantom partial
+		// location, which must be dropped along with each lease.
+		for _, l := range resp.Locs {
+			_, _ = c.call(ctx, wire.Message{Method: wire.MethodAbortDown, OID: req.OID, Node: c.self, Sender: l.Node})
+		}
 	}
 }
 

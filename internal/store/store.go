@@ -54,6 +54,14 @@ func New(capacity int64, onEvict EvictFunc) *Store {
 // copies eligible for LRU eviction. It returns ErrExists if the object is
 // already present.
 func (s *Store) Create(oid types.ObjectID, size int64, pinned bool) (*buffer.Buffer, error) {
+	return s.CreateChunked(oid, size, 0, pinned)
+}
+
+// CreateChunked is Create with an explicit ledger chunk granularity
+// (chunk <= 0 selects the default). Striped pulls size the claim grid to
+// the object and sender count so every leased sender has a range to
+// claim.
+func (s *Store) CreateChunked(oid types.ObjectID, size, chunk int64, pinned bool) (*buffer.Buffer, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -64,7 +72,7 @@ func (s *Store) Create(oid types.ObjectID, size int64, pinned bool) (*buffer.Buf
 		return nil, fmt.Errorf("store: %v: %w", oid, types.ErrExists)
 	}
 	evicted := s.ensureRoomLocked(size)
-	buf := buffer.New(size)
+	buf := buffer.NewChunked(size, chunk)
 	o := &object{buf: buf, pinned: pinned}
 	if !pinned {
 		o.elem = s.lru.PushFront(oid)
@@ -118,10 +126,13 @@ func (s *Store) InsertSealed(oid types.ObjectID, data []byte, pinned bool) (*buf
 
 // ensureRoomLocked evicts unpinned complete LRU objects until size fits,
 // returning the evicted IDs. Objects still being written are never
-// evicted. The scan is a single pass from the cold end of the LRU list —
-// the cursor only moves forward, so a long run of incomplete (unevictable)
-// partial buffers is skipped once instead of being rescanned for every
-// victim, which previously made a burst of evictions O(n²).
+// evicted, and neither are buffers with live reader refs (pinned
+// zero-copy views handed out via Acquire) — evicting under a live reader
+// is the use-after-evict hazard the handle API exists to prevent. The
+// scan is a single pass from the cold end of the LRU list — the cursor
+// only moves forward, so a long run of unevictable buffers is skipped
+// once instead of being rescanned for every victim, which previously made
+// a burst of evictions O(n²).
 func (s *Store) ensureRoomLocked(size int64) []types.ObjectID {
 	if s.capacity <= 0 {
 		return nil
@@ -130,7 +141,7 @@ func (s *Store) ensureRoomLocked(size int64) []types.ObjectID {
 	for e := s.lru.Back(); e != nil && s.used+size > s.capacity; {
 		prev := e.Prev()
 		oid := e.Value.(types.ObjectID)
-		if o := s.objects[oid]; o != nil && o.buf.Complete() {
+		if o := s.objects[oid]; o != nil && o.buf.Complete() && o.buf.Refs() == 0 {
 			s.lru.Remove(e)
 			delete(s.objects, oid)
 			s.used -= o.buf.Size()
@@ -152,6 +163,26 @@ func (s *Store) Get(oid types.ObjectID) (*buffer.Buffer, bool) {
 	if o.elem != nil {
 		s.lru.MoveToFront(o.elem)
 	}
+	return o.buf, true
+}
+
+// Acquire returns the buffer for oid with one reader ref taken while the
+// store lock is held, so the buffer cannot be evicted between lookup and
+// pin. The caller owns the ref and must balance it with buffer.Unref
+// (normally via ObjectRef.Release). Eviction skips buffers with live
+// refs, so the returned view stays valid until released even under store
+// pressure.
+func (s *Store) Acquire(oid types.ObjectID) (*buffer.Buffer, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[oid]
+	if !ok {
+		return nil, false
+	}
+	if o.elem != nil {
+		s.lru.MoveToFront(o.elem)
+	}
+	o.buf.Ref()
 	return o.buf, true
 }
 

@@ -330,3 +330,74 @@ func TestAccountingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAcquireRefBlocksEviction is the regression test for the
+// GetImmutable recycle hazard: a copy with a live reader ref must survive
+// store-pressure eviction, and become evictable again once released.
+func TestAcquireRefBlocksEviction(t *testing.T) {
+	s := New(30, nil)
+	if _, err := s.InsertSealed(oid(1), make([]byte, 10), false); err != nil {
+		t.Fatal(err)
+	}
+	buf, ok := s.Acquire(oid(1))
+	if !ok {
+		t.Fatal("Acquire missed present object")
+	}
+	if buf.Refs() != 1 {
+		t.Fatalf("refs = %d, want 1", buf.Refs())
+	}
+	// Two more inserts leave no room: the unpinned-but-ref'd object would
+	// be the LRU victim, but must be skipped.
+	for i := 2; i <= 4; i++ {
+		if _, err := s.InsertSealed(oid(i), make([]byte, 10), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Contains(oid(1)) {
+		t.Fatal("object with live ref was evicted")
+	}
+	buf.Unref()
+	if _, err := s.InsertSealed(oid(5), make([]byte, 10), false); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(oid(1)) {
+		t.Fatal("released LRU object not evicted under pressure")
+	}
+}
+
+// TestConcurrentReleaseVsEviction hammers Acquire/Unref against inserts
+// that force eviction; run under -race it checks the ref count and the
+// eviction scan never race. Acquired views must always read valid data.
+func TestConcurrentReleaseVsEviction(t *testing.T) {
+	s := New(64, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if buf, ok := s.Acquire(oid(1)); ok {
+					if buf.Complete() && buf.Bytes()[0] != 7 {
+						t.Error("acquired view reads corrupt data")
+					}
+					buf.Unref()
+				} else {
+					payload := make([]byte, 16)
+					payload[0] = 7
+					_, _ = s.InsertSealed(oid(1), payload, false)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		_, _ = s.InsertSealed(oid(2+i%8), make([]byte, 16), false)
+	}
+	close(stop)
+	wg.Wait()
+}

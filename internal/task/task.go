@@ -230,21 +230,40 @@ func (c *Cluster) Get(ctx context.Context, oid types.ObjectID) ([]byte, error) {
 
 // GetVia fetches an object through a specific node's store.
 func (c *Cluster) GetVia(ctx context.Context, node int, oid types.ObjectID) ([]byte, error) {
+	return getReconstruct(c, ctx, oid, func(gctx context.Context) ([]byte, error) {
+		return c.nodes[node].Get(gctx, oid)
+	})
+}
+
+// GetRefVia fetches an object through a specific node's store as a
+// pinned, zero-copy ObjectRef, reconstructing the producing task if the
+// object appears lost. The caller must Release the ref.
+func (c *Cluster) GetRefVia(ctx context.Context, node int, oid types.ObjectID) (*core.ObjectRef, error) {
+	return getReconstruct(c, ctx, oid, func(gctx context.Context) (*core.ObjectRef, error) {
+		return c.nodes[node].GetRef(gctx, oid)
+	})
+}
+
+// getReconstruct is the lineage-reconstruction fetch loop shared by the
+// copying and zero-copy Get paths: a fetch that times out or observes a
+// deletion re-submits the producing task and tries again.
+func getReconstruct[T any](c *Cluster, ctx context.Context, oid types.ObjectID, fetch func(context.Context) (T, error)) (T, error) {
+	var zero T
 	for {
 		gctx, cancel := context.WithTimeout(ctx, c.GetTimeout)
-		data, err := c.nodes[node].Get(gctx, oid)
+		v, err := fetch(gctx)
 		cancel()
 		if err == nil {
-			return data, nil
+			return v, nil
 		}
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return zero, ctx.Err()
 		}
 		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, types.ErrDeleted) && !errors.Is(err, types.ErrAborted) {
-			return nil, err
+			return zero, err
 		}
 		if !c.reconstruct(oid) {
-			return nil, fmt.Errorf("task: object %v lost with no lineage: %w", oid, types.ErrNotFound)
+			return zero, fmt.Errorf("task: object %v lost with no lineage: %w", oid, types.ErrNotFound)
 		}
 	}
 }
@@ -420,9 +439,17 @@ func (inv *Invocation) NumArgs() int { return len(inv.spec.Args) }
 // ArgID returns the i-th argument future.
 func (inv *Invocation) ArgID(i int) types.ObjectID { return inv.spec.Args[i] }
 
-// Arg fetches the i-th argument, reconstructing it if it was lost.
+// Arg fetches a private copy of the i-th argument, reconstructing it if
+// it was lost. Tasks that only read an argument should prefer ArgRef.
 func (inv *Invocation) Arg(i int) ([]byte, error) {
 	return inv.cluster.GetVia(inv.Ctx, inv.NodeIndex, inv.spec.Args[i])
+}
+
+// ArgRef fetches the i-th argument as a pinned, zero-copy read-only view,
+// reconstructing it if it was lost. The task body must Release the ref
+// before returning; the bytes must not be modified.
+func (inv *Invocation) ArgRef(i int) (*core.ObjectRef, error) {
+	return inv.cluster.GetRefVia(inv.Ctx, inv.NodeIndex, inv.spec.Args[i])
 }
 
 // OutputID returns the i-th return future.

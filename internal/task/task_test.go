@@ -258,3 +258,68 @@ func TestManyParallelTasks(t *testing.T) {
 		}
 	}
 }
+
+func TestArgRefZeroCopy(t *testing.T) {
+	_, tc := startTaskCluster(t, 3)
+	payload := make([]byte, 128<<10) // above SmallObject: a real store ref
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	tc.Register("produce-big", func(inv *Invocation) error {
+		return inv.SetReturn(0, payload)
+	})
+	tc.Register("sum", func(inv *Invocation) error {
+		ref, err := inv.ArgRef(0)
+		if err != nil {
+			return err
+		}
+		defer ref.Release()
+		data := ref.Bytes()
+		if int64(len(data)) != ref.Size() || len(data) != len(payload) {
+			return fmt.Errorf("ref size %d, want %d", len(data), len(payload))
+		}
+		var sum byte
+		for _, b := range data {
+			sum += b
+		}
+		return inv.SetReturn(0, []byte{sum})
+	})
+	x := tc.Submit("produce-big", nil, 1, 0)
+	y := tc.Submit("sum", x, 1, 2)
+	got, err := tc.Get(ctxT(t), y[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want byte
+	for _, b := range payload {
+		want += b
+	}
+	if got[0] != want {
+		t.Fatalf("sum %d, want %d", got[0], want)
+	}
+}
+
+func TestArgRefInlineSmallObject(t *testing.T) {
+	_, tc := startTaskCluster(t, 2)
+	tc.Register("produce", func(inv *Invocation) error {
+		return inv.SetReturn(0, []byte{7})
+	})
+	tc.Register("relay", func(inv *Invocation) error {
+		ref, err := inv.ArgRef(0)
+		if err != nil {
+			return err
+		}
+		out := []byte{ref.Bytes()[0] + 1}
+		ref.Release()
+		return inv.SetReturn(0, out)
+	})
+	x := tc.Submit("produce", nil, 1, AnyNode)
+	y := tc.Submit("relay", x, 1, AnyNode)
+	got, err := tc.Get(ctxT(t), y[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 8 {
+		t.Fatalf("got %d", got[0])
+	}
+}

@@ -52,6 +52,12 @@ const (
 
 	// Misc.
 	MethodPing
+	// MethodCancel aborts the in-flight call whose ID is in Num. It is a
+	// transport-level frame sent best-effort by a client whose Call ctx
+	// died: the server cancels that handler's ctx so a blocked acquire
+	// releases its directory claim instead of leasing a sender to a
+	// receiver that has already given up. Cancel frames get no response.
+	MethodCancel
 )
 
 // Flags for Message.Flags.
@@ -132,22 +138,41 @@ type Client struct {
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan Message
-	closed  error
+	// abandoned tracks calls whose requester gave up (ctx cancel) before
+	// the response arrived, keyed by ID to the original request. The
+	// server answers every non-cancel request exactly once, so entries
+	// are bounded: each is removed when its late response lands (feeding
+	// the orphan callback) or when the connection fails.
+	abandoned map[uint64]Message
+	closed    error
 
 	notify func(Message)
+	orphan func(req, resp Message)
 }
 
 // NewClient wraps an established connection. notify, if non-nil, receives
 // server push messages (FlagNotify) synchronously from the read loop.
 func NewClient(conn net.Conn, notify func(Message)) *Client {
 	c := &Client{
-		conn:    conn,
-		bw:      bufio.NewWriter(conn),
-		pending: make(map[uint64]chan Message),
-		notify:  notify,
+		conn:      conn,
+		bw:        bufio.NewWriter(conn),
+		pending:   make(map[uint64]chan Message),
+		abandoned: make(map[uint64]Message),
+		notify:    notify,
 	}
 	go c.readLoop()
 	return c
+}
+
+// OnOrphan registers fn to receive late responses to abandoned calls
+// (Call returned on ctx cancellation before the response arrived), so the
+// owner can undo server-side effects the caller never observed — e.g. a
+// directory acquire that granted a lease to a receiver that had already
+// given up. fn runs on its own goroutine. Set it before issuing calls.
+func (c *Client) OnOrphan(fn func(req, resp Message)) {
+	c.mu.Lock()
+	c.orphan = fn
+	c.mu.Unlock()
 }
 
 func (c *Client) readLoop() {
@@ -169,9 +194,21 @@ func (c *Client) readLoop() {
 		if ok {
 			delete(c.pending, m.ID)
 		}
+		var req Message
+		orphaned := false
+		if !ok {
+			if r, ok2 := c.abandoned[m.ID]; ok2 {
+				req, orphaned = r, true
+				delete(c.abandoned, m.ID)
+			}
+		}
+		orphanFn := c.orphan
 		c.mu.Unlock()
-		if ok {
+		switch {
+		case ok:
 			ch <- m
+		case orphaned && orphanFn != nil:
+			go orphanFn(req, m)
 		}
 	}
 }
@@ -183,6 +220,7 @@ func (c *Client) fail(err error) {
 	}
 	pending := c.pending
 	c.pending = make(map[uint64]chan Message)
+	c.abandoned = make(map[uint64]Message) // their responses are never coming
 	c.mu.Unlock()
 	for id, ch := range pending {
 		var m Message
@@ -234,10 +272,39 @@ func (c *Client) Call(ctx context.Context, m Message) (Message, error) {
 		return resp, nil
 	case <-ctx.Done():
 		c.mu.Lock()
-		delete(c.pending, m.ID)
+		if _, ok := c.pending[m.ID]; ok {
+			delete(c.pending, m.ID)
+			c.abandoned[m.ID] = m
+			c.mu.Unlock()
+			// Tell the server to cancel the in-flight handler (best
+			// effort, off this goroutine so a congested connection cannot
+			// stall the caller's cancellation). The cancel may lose the
+			// race against a handler that just granted something; the
+			// late response then lands in the orphan callback, which
+			// undoes the grant.
+			go c.sendCancel(m.ID)
+			return Message{}, ctx.Err()
+		}
+		orphanFn := c.orphan
 		c.mu.Unlock()
+		// The response raced our cancellation and is already in flight on
+		// ch (readLoop removed the pending entry before we did); surface
+		// it to the orphan callback so its effects are undone.
+		resp := <-ch
+		if orphanFn != nil {
+			go orphanFn(m, resp)
+		}
 		return Message{}, ctx.Err()
 	}
+}
+
+func (c *Client) sendCancel(id uint64) {
+	m := Message{Method: MethodCancel, Num: int64(id)}
+	c.wmu.Lock()
+	if err := writeMessage(c.bw, &m); err == nil {
+		_ = c.bw.Flush()
+	}
+	c.wmu.Unlock()
 }
 
 // Peer is the server-side view of one client connection. Handlers can hold
@@ -359,6 +426,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		peer.close()
 	}()
 
+	// calls tracks in-flight handler cancel funcs by request ID, so a
+	// MethodCancel frame can abort exactly the abandoned call. Frames on
+	// one connection are read sequentially, so a request is always
+	// registered before its cancel can be read.
+	var callsMu sync.Mutex
+	calls := make(map[uint64]context.CancelFunc)
+
 	br := bufio.NewReader(conn)
 	for {
 		var m Message
@@ -368,8 +442,26 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		if m.Method == MethodCancel {
+			callsMu.Lock()
+			if cancel, ok := calls[uint64(m.Num)]; ok {
+				cancel()
+			}
+			callsMu.Unlock()
+			continue
+		}
+		cctx, ccancel := context.WithCancel(ctx)
+		callsMu.Lock()
+		calls[m.ID] = ccancel
+		callsMu.Unlock()
 		go func(req Message) {
-			resp := s.handler(ctx, req, peer)
+			defer func() {
+				callsMu.Lock()
+				delete(calls, req.ID)
+				callsMu.Unlock()
+				ccancel()
+			}()
+			resp := s.handler(cctx, req, peer)
 			resp.ID = req.ID
 			resp.Flags |= FlagResponse
 			if err := peer.send(&resp); err != nil {

@@ -253,3 +253,49 @@ func TestMessageRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCallCancelPropagates: abandoning a Call (ctx cancel) sends a
+// best-effort MethodCancel, which cancels the server-side handler's ctx —
+// a blocked directory acquire must not keep waiting for a receiver that
+// has given up.
+func TestCallCancelPropagates(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	handlerCtx := make(chan error, 1)
+	srv := NewServer(ln, func(ctx context.Context, m Message, p *Peer) Message {
+		<-ctx.Done()
+		handlerCtx <- ctx.Err()
+		return Message{}
+	})
+	go srv.Serve()
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn, nil)
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(ctx, Message{Method: MethodPing})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the call reach the handler
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("call returned %v", err)
+	}
+	select {
+	case err := <-handlerCtx:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("handler ctx err %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server handler ctx never canceled")
+	}
+}

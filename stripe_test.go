@@ -42,10 +42,14 @@ func waitComplete(t *testing.T, ctx context.Context, c *Cluster, from int, oid O
 // stripedSenders runs one striped Get against k complete remote copies
 // and returns how many distinct senders served ranged pulls for it.
 func stripedSenders(t *testing.T, maxSources int) int {
+	return stripedSendersSized(t, maxSources, 16<<20)
+}
+
+func stripedSendersSized(t *testing.T, maxSources, size int) int {
 	t.Helper()
 	ctx := testCtx(t)
 	c := startCluster(t, 4, Options{StripeThreshold: 1 << 20, MaxSources: maxSources})
-	data := payload(16<<20, 5)
+	data := payload(size, 5)
 	oid := ObjectIDFromString("striped-get")
 	if err := c.Node(0).Put(ctx, oid, data); err != nil {
 		t.Fatalf("Put: %v", err)
@@ -88,6 +92,16 @@ func TestStripedGetUsesAllCompleteCopies(t *testing.T) {
 func TestStripedGetRespectsMaxSources(t *testing.T) {
 	if got := stripedSenders(t, 2); got != 2 { // MaxSources=2 < k=3
 		t.Fatalf("striped Get drew ranged pulls from %d senders, want min(k=3, MaxSources=2) = 2", got)
+	}
+}
+
+// An object smaller than two default ledger chunks must still spread
+// across every leased sender: the striped pull shrinks the claim grid to
+// the object and sender count instead of handing the whole (single
+// default chunk) ledger to the first worker.
+func TestStripedGetSmallObjectUsesAllSenders(t *testing.T) {
+	if got := stripedSendersSized(t, 4, 4<<20); got != 3 { // one default chunk, k=3
+		t.Fatalf("small striped Get drew ranged pulls from %d senders, want 3", got)
 	}
 }
 
