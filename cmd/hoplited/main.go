@@ -10,7 +10,16 @@
 //	hoplited -listen 10.0.0.2:7077 -shards 10.0.0.1:7077
 //	hoplited -listen 10.0.0.3:7077 -shards 10.0.0.1:7077
 //
-// Use hoplite-cli against any node's address.
+//	# bounded memory with a disk spill tier (out-of-core working sets)
+//	hoplited -listen 10.0.0.2:7077 -shards 10.0.0.1:7077 \
+//	    -memory-limit 8589934592 -spill-dir /data/hoplite-spill
+//
+// With -memory-limit, Put/Create apply admission backpressure instead of
+// growing past the budget; with -spill-dir, cold objects are demoted to
+// disk and served (or restored) from there. The spill directory is
+// rescanned on restart, so a restarted daemon re-offers the objects it
+// spilled. Use hoplite-cli against any node's address; see
+// docs/OPERATIONS.md for the full tuning guide.
 package main
 
 import (
@@ -31,9 +40,17 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on (control + data plane)")
 	shards := flag.String("shards", "", "comma-separated directory shard addresses (defaults to this node when -host-shard)")
 	hostShard := flag.Bool("host-shard", false, "host a directory shard on this node")
-	capacity := flag.Int64("capacity", 0, "store capacity in bytes (0 = unlimited)")
+	capacity := flag.Int64("capacity", 0, "legacy store capacity in bytes (0 = unlimited); prefer -memory-limit")
+	memLimit := flag.Int64("memory-limit", 0, "in-memory store budget in bytes with admission backpressure (0 = unlimited)")
+	spillDir := flag.String("spill-dir", "", "directory for the disk spill tier (empty = spill disabled); rescanned on restart")
+	spillHigh := flag.Float64("spill-high", 0, "demotion high watermark as a fraction of -memory-limit (default 0.90)")
+	spillLow := flag.Float64("spill-low", 0, "demotion low watermark as a fraction of -memory-limit (default 0.70)")
 	small := flag.Int64("small-object", 0, "small-object inline threshold in bytes (default 64 KiB)")
 	flag.Parse()
+
+	if *spillDir != "" && *memLimit <= 0 && *capacity <= 0 {
+		log.Fatal("hoplited: -spill-dir requires -memory-limit (or -capacity): with an unbounded store nothing is ever demoted")
+	}
 
 	var shardList []string
 	if *shards != "" {
@@ -52,6 +69,10 @@ func main() {
 		HostShard:       *hostShard,
 		DirectoryShards: shardList,
 		StoreCapacity:   *capacity,
+		MemoryLimit:     *memLimit,
+		SpillDir:        *spillDir,
+		SpillHighWater:  *spillHigh,
+		SpillLowWater:   *spillLow,
 		SmallObject:     *small,
 	})
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"path/filepath"
 	"time"
 
 	"hoplite/internal/core"
@@ -106,8 +107,25 @@ type Options struct {
 	Emulate *netem.LinkConfig
 	// SmallObject overrides the inline fast-path threshold (bytes).
 	SmallObject int64
-	// StoreCapacity bounds each node's store; 0 = unlimited.
+	// StoreCapacity bounds each node's store; 0 = unlimited. Legacy
+	// semantics: unpinned LRU eviction at the bound, pinned allocations
+	// overshoot. Prefer MemoryLimit.
 	StoreCapacity int64
+	// MemoryLimit bounds each node's in-memory store and enables
+	// admission backpressure: Put/Create block (ctx-governed) instead of
+	// overshooting when the limit is hit and nothing cold can be demoted
+	// or evicted. Combine with SpillDir for out-of-core workloads whose
+	// aggregate object bytes exceed cluster RAM. Takes precedence over
+	// StoreCapacity.
+	MemoryLimit int64
+	// SpillDir enables the disk spill tier: each node demotes cold sealed
+	// objects to chunk-aligned files under SpillDir/<node-name> instead
+	// of dropping them, serves them to peers straight off disk, and
+	// restores them transparently on a local Get. Empty disables spill.
+	SpillDir string
+	// SpillHighWater/SpillLowWater bound the demotion hysteresis as
+	// fractions of MemoryLimit (defaults 0.90/0.70).
+	SpillHighWater, SpillLowWater float64
 	// StripeThreshold is the minimum object size for which a Get stripes
 	// ranged pulls across multiple complete copies (0 = default, negative
 	// disables striping).
@@ -134,6 +152,13 @@ type Options struct {
 // Every node construction — initial boot and restart — goes through this
 // single helper so a new knob cannot be silently dropped from one path.
 func (o Options) coreConfig(fab netem.Fabric, name string, ln net.Listener, hostShard bool, shards []string) core.Config {
+	spillDir := ""
+	if o.SpillDir != "" {
+		// One subdirectory per node: in-process cluster nodes must not
+		// share an on-disk namespace, and a restarted node (same name)
+		// finds exactly the objects it spilled.
+		spillDir = filepath.Join(o.SpillDir, name)
+	}
 	return core.Config{
 		Fabric:          fab,
 		Name:            name,
@@ -143,6 +168,10 @@ func (o Options) coreConfig(fab netem.Fabric, name string, ln net.Listener, host
 		SmallObject:     o.SmallObject,
 		PipelineBlock:   o.PipelineBlock,
 		StoreCapacity:   o.StoreCapacity,
+		MemoryLimit:     o.MemoryLimit,
+		SpillDir:        spillDir,
+		SpillHighWater:  o.SpillHighWater,
+		SpillLowWater:   o.SpillLowWater,
 		StripeThreshold: o.StripeThreshold,
 		MaxSources:      o.MaxSources,
 		Latency:         o.Latency,

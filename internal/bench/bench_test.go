@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -70,5 +71,22 @@ func TestStaggered(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("Staggered[%d] = %v, want %v", i, got[i], want[i])
 		}
+	}
+}
+
+// TestOutOfCoreSmoke runs a tiny out-of-core workload (working set 4x the
+// memory budget) through the spill tier end-to-end.
+func TestOutOfCoreSmoke(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := OutOfCore(ctx, t.TempDir(), 1<<20, 128<<10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Demotions == 0 || res.SpilledObjects == 0 {
+		t.Fatalf("out-of-core run never spilled: %+v", res)
+	}
+	if res.PutBps <= 0 || res.ReadBps <= 0 {
+		t.Fatalf("missing throughput: %+v", res)
 	}
 }

@@ -17,6 +17,7 @@ package buffer
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"sync"
 
@@ -517,6 +518,22 @@ func (b *Buffer) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
 	}
 	n := copy(p, b.data[off:w])
 	return n, nil
+}
+
+// DumpTo writes the buffer's entire payload to w in one call. It is the
+// demotion path to the spill tier: the buffer must be complete (sealed
+// with every byte present) — dumping an incomplete or failed buffer
+// returns an error instead of persisting a short object. Buffers are
+// immutable once sealed, so no lock is held across the write.
+func (b *Buffer) DumpTo(w io.Writer) error {
+	if !b.Complete() {
+		if err := b.Failed(); err != nil {
+			return err
+		}
+		return fmt.Errorf("buffer: dump of incomplete buffer (%d of %d bytes)", b.Watermark(), b.Size())
+	}
+	_, err := w.Write(b.data)
+	return err
 }
 
 // Bytes returns the underlying payload. Callers must treat the result as

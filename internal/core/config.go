@@ -60,7 +60,30 @@ type Config struct {
 	// ChunkSize is the data-plane wire chunk size.
 	ChunkSize int
 	// StoreCapacity bounds the local store in bytes; 0 means unlimited.
+	// Legacy semantics: unpinned LRU eviction at the bound, pinned
+	// allocations overshoot. Prefer MemoryLimit for new deployments.
 	StoreCapacity int64
+
+	// MemoryLimit bounds the in-memory store in bytes and enables
+	// admission control: a Put/Create that cannot fit under the limit —
+	// even after demoting or evicting every eligible cold object — blocks
+	// (governed by its ctx) instead of overshooting or failing. Combine
+	// with SpillDir for the tiered out-of-core mode. Zero disables
+	// admission; MemoryLimit takes precedence over StoreCapacity.
+	MemoryLimit int64
+	// SpillDir, when set, enables the disk spill tier: under memory
+	// pressure cold sealed objects are demoted to files in this directory
+	// instead of dropped. A spilled object keeps its directory location
+	// (downgraded to the Spilled flavor), serves remote pulls — full or
+	// ranged — straight off disk, and is transparently restored into
+	// memory on a local Get. The directory is rescanned at startup, so a
+	// restarted node re-offers the objects it spilled in a previous life.
+	SpillDir string
+	// SpillHighWater and SpillLowWater are fractions of the memory budget
+	// bounding the demotion hysteresis: an allocation that would push
+	// usage past High demotes cold objects until usage falls below Low.
+	// Zero selects the store defaults (0.90 / 0.70).
+	SpillHighWater, SpillLowWater float64
 
 	// StripeThreshold is the minimum object size for a striped Get that
 	// pulls disjoint ranges from several complete copies concurrently.

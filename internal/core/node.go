@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"hoplite/internal/buffer"
 	"hoplite/internal/directory"
 	"hoplite/internal/netem"
+	"hoplite/internal/spill"
 	"hoplite/internal/store"
 	"hoplite/internal/transport"
 	"hoplite/internal/types"
@@ -35,6 +37,7 @@ type Node struct {
 	fab     netem.Fabric
 	ln      net.Listener
 	store   *store.Store
+	spill   *spill.Spill // nil unless Config.SpillDir is set
 	dir     *directory.Client
 	shard   *directory.Server
 	dataSrv *transport.Server
@@ -92,7 +95,32 @@ func NewNode(cfg Config) (*Node, error) {
 		storeChange: make(chan struct{}),
 	}
 	n.ctx, n.cancel = context.WithCancel(context.Background())
-	n.store = store.New(c.StoreCapacity, n.onEvict)
+	if c.SpillDir != "" {
+		sp, err := spill.Open(c.SpillDir)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		n.spill = sp
+	}
+	// MemoryLimit selects the tiered store (admission backpressure and,
+	// with a spill dir, demotion); StoreCapacity keeps the legacy
+	// overshooting LRU bound.
+	tier := store.Tier{
+		Capacity:  c.StoreCapacity,
+		HighWater: c.SpillHighWater,
+		LowWater:  c.SpillLowWater,
+		OnEvict:   n.onEvict,
+	}
+	if c.MemoryLimit > 0 {
+		tier.Capacity = c.MemoryLimit
+		tier.Admission = true
+	}
+	if n.spill != nil {
+		tier.Demote = n.demoteToSpill
+		tier.PrepareDemote = n.spill.Reserve
+	}
+	n.store = store.NewTiered(tier)
 
 	shards := c.DirectoryShards
 	if c.HostShard {
@@ -116,7 +144,84 @@ func NewNode(cfg Config) (*Node, error) {
 	go func() { defer n.wg.Done(); n.acceptLoop() }()
 	go func() { defer n.wg.Done(); _ = n.dataSrv.Serve() }()
 	go func() { defer n.wg.Done(); _ = n.ctrlSrv.Serve() }()
+	if n.spill != nil && n.spill.Len() > 0 {
+		n.wg.Add(1)
+		go func() { defer n.wg.Done(); n.reofferSpilled() }()
+	}
 	return n, nil
+}
+
+// reofferSpilled re-registers every object found in the spill directory
+// at boot: a restarted node still holds those bytes on disk and can serve
+// them, so its previous life's spilled objects outlive the process (the
+// paper leaves task restarts to the framework, §5.5; the spill tier makes
+// restarted nodes come back warm). Objects the directory has tombstoned
+// since are discarded from disk. Registrations that fail transiently —
+// a rolling restart often boots workers before their directory shard is
+// reachable — are retried with backoff for the life of the node.
+func (n *Node) reofferSpilled() {
+	pending := n.spill.List()
+	backoff := 250 * time.Millisecond
+	for len(pending) > 0 && n.ctx.Err() == nil {
+		var failed []spill.Entry
+		for _, ent := range pending {
+			ctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
+			err := n.dir.MarkSpilled(ctx, ent.OID, ent.Size)
+			cancel()
+			switch {
+			case err == nil:
+			case errors.Is(err, types.ErrDeleted):
+				n.spill.Remove(ent.OID)
+			default:
+				failed = append(failed, ent)
+			}
+			if n.ctx.Err() != nil {
+				return
+			}
+		}
+		n.signalStoreChange()
+		pending = failed
+		if len(pending) == 0 {
+			return
+		}
+		select {
+		case <-time.After(backoff):
+		case <-n.ctx.Done():
+			return
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+	}
+}
+
+// demoteToSpill persists an eviction victim to the spill tier (called by
+// the store, outside its lock) and downgrades the directory location to
+// Spilled. The file write is deliberately synchronous — write-through
+// demotion is the backpressure that keeps a producer from racing ahead
+// of the disk — but the directory downgrade is fired asynchronously: the
+// copy serves pulls under either flavor (ranking lags one RPC at most),
+// and a burst demoting many victims must not serialize N directory
+// round-trips into one unlucky Put. Returning false (disk trouble) falls
+// the victim back to plain eviction or, for pinned locals, reinsertion.
+func (n *Node) demoteToSpill(oid types.ObjectID, buf *buffer.Buffer) bool {
+	if err := n.spill.Write(oid, buf); err != nil {
+		return false
+	}
+	// Wake pull servers parked on a store miss: the object is servable
+	// again, now off disk.
+	n.signalStoreChange()
+	size := buf.Size()
+	go func() {
+		ctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
+		err := n.dir.MarkSpilled(ctx, oid, size)
+		cancel()
+		if errors.Is(err, types.ErrDeleted) {
+			// Tombstoned while we were demoting: the file is stale.
+			n.spill.Remove(oid)
+		}
+	}()
+	return true
 }
 
 func nameOrTemp(name string) string {
@@ -137,6 +242,10 @@ func (n *Node) Directory() *directory.Client { return n.dir }
 
 // Store exposes the node's local store (used by tests and tools).
 func (n *Node) Store() *store.Store { return n.store }
+
+// Spill exposes the node's spill tier, nil unless Config.SpillDir was set
+// (used by tests and tools).
+func (n *Node) Spill() *spill.Spill { return n.spill }
 
 // DataStats reports the node's data-plane serve counters: how many pulls
 // (and ranged striped pulls) this node's store served to receivers.
@@ -251,6 +360,9 @@ func (n *Node) handleCtrl(ctx context.Context, m wire.Message, p *wire.Peer) wir
 		return n.handleReduceCancel(m)
 	case wire.MethodEvictLocal:
 		n.store.Delete(m.OID)
+		if n.spill != nil {
+			n.spill.Remove(m.OID)
+		}
 		return wire.Message{}
 	case wire.MethodPing:
 		return wire.Message{Method: wire.MethodPing}
@@ -272,10 +384,19 @@ func (n *Node) onSendFailure(oid types.ObjectID, receiver types.NodeID) {
 	_ = n.dir.AbortDownstream(ctx, oid, receiver)
 }
 
-// onEvict removes the evicted copy's directory location (best effort).
+// onEvict reconciles the directory after a copy was dropped from memory
+// (best effort): if the object still lives in the spill tier the dropped
+// buffer was only a cache over the file, so the location is downgraded to
+// Spilled rather than removed — this node can still serve every byte.
 func (n *Node) onEvict(oid types.ObjectID) {
 	ctx, cancel := context.WithTimeout(n.ctx, 5*time.Second)
 	defer cancel()
+	if n.spill != nil {
+		if size, ok := n.spill.Contains(oid); ok {
+			_ = n.dir.MarkSpilled(ctx, oid, size)
+			return
+		}
+	}
 	_ = n.dir.RemoveLocation(ctx, oid)
 }
 
@@ -287,28 +408,35 @@ func (n *Node) signalStoreChange() {
 	n.mu.Unlock()
 }
 
-// serveBuffer resolves pull requests against the local store. A freshly
-// leased receiver may be asked for the object a moment before its local
-// buffer exists (its Acquire response is still in flight), so absence
-// waits briefly for creation.
-func (n *Node) serveBuffer(ctx context.Context, oid types.ObjectID) (*buffer.Buffer, error) {
+// serveBuffer resolves pull requests against the local store, falling
+// back to the spill tier: a demoted object is served straight off its
+// chunk-aligned disk file (full or ranged pulls alike) without being
+// rehydrated into memory. A freshly leased receiver may be asked for the
+// object a moment before its local buffer exists (its Acquire response is
+// still in flight), so absence waits briefly for creation.
+func (n *Node) serveBuffer(ctx context.Context, oid types.ObjectID) (transport.Payload, error) {
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		if buf, ok := n.store.Get(oid); ok {
-			return buf, nil
+			return transport.Payload{Buf: buf}, nil
+		}
+		if n.spill != nil {
+			if f, size, err := n.spill.Open(oid); err == nil {
+				return transport.Payload{File: f, Size: size, Release: func() { f.Close() }}, nil
+			}
 		}
 		n.mu.Lock()
 		ch := n.storeChange
 		n.mu.Unlock()
 		if time.Now().After(deadline) {
-			return nil, types.ErrNotFound
+			return transport.Payload{}, types.ErrNotFound
 		}
 		select {
 		case <-ch:
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return transport.Payload{}, ctx.Err()
 		case <-time.After(time.Until(deadline)):
-			return nil, types.ErrNotFound
+			return transport.Payload{}, types.ErrNotFound
 		}
 	}
 }
@@ -346,6 +474,9 @@ func (n *Node) Close() error {
 	}
 	n.dir.Close()
 	n.store.Close()
+	if n.spill != nil {
+		n.spill.Close() // files stay on disk for the next incarnation
+	}
 	n.wg.Wait()
 	return nil
 }

@@ -229,6 +229,9 @@ func (n *Node) Delete(ctx context.Context, oid types.ObjectID) error {
 		}
 	}
 	n.store.Delete(oid) // cover copies created after the directory snapshot
+	if n.spill != nil {
+		n.spill.Remove(oid)
+	}
 	return firstErr
 }
 
@@ -306,6 +309,14 @@ func (n *Node) startPull(ctx context.Context, oid types.ObjectID, p *pull) (*buf
 		return buf, nil
 	}
 
+	// Spill tier first: an object this node demoted to disk restores
+	// locally instead of going back to the network.
+	if n.spill != nil {
+		if buf, ok := n.restoreFromSpill(oid, p); ok {
+			return buf, nil
+		}
+	}
+
 	var lease directory.Lease
 	acquired := false
 	if n.cfg.MaxSources > 1 && n.cfg.StripeThreshold > 0 {
@@ -379,6 +390,65 @@ func (n *Node) startPull(ctx context.Context, oid types.ObjectID, p *pull) (*buf
 		n.runPull(oid, p, buf, lease.Sender, lease.Gen)
 	}()
 	return buf, nil
+}
+
+// restoreFromSpill rehydrates a spilled object into the store, streaming
+// file blocks through the buffer's watermark so readers (and onward
+// relays) pipeline off the restore exactly as they would off a network
+// pull. The spill file stays behind as the durable copy: the restored
+// buffer is an unpinned cache over it, so eviction under continued
+// pressure is cheap (no rewrite) and merely downgrades the directory
+// location back to Spilled. ok=false means the object is not spilled, or
+// a racing writer owns the store entry; the caller proceeds with a remote
+// acquire.
+func (n *Node) restoreFromSpill(oid types.ObjectID, p *pull) (*buffer.Buffer, bool) {
+	size, ok := n.spill.Contains(oid)
+	if !ok {
+		return nil, false
+	}
+	// Plain Create, not CreateAdmit: a restore must not block on
+	// admission (it is often what a blocked admission is waiting for);
+	// it instead triggers demotion of colder objects, which is the
+	// restore-under-eviction-pressure cycle the watermarks bound.
+	buf, err := n.store.Create(oid, size, false)
+	if err != nil {
+		return nil, false
+	}
+	n.signalStoreChange()
+	p.buf = buf
+	close(p.ready)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer func() {
+			n.mu.Lock()
+			if n.pulls[oid] == p {
+				delete(n.pulls, oid)
+			}
+			n.mu.Unlock()
+		}()
+		if err := n.spill.ReadInto(oid, n.cfg.PipelineBlock, buf.Append); err != nil {
+			buf.Fail(err)
+			n.store.Delete(oid)
+			// Keep the durable file when the restore died of node
+			// shutdown or a concurrent Delete (which tears the file down
+			// itself) — only a genuinely unreadable file is dropped, so
+			// the next attempt goes remote instead of looping on it.
+			if n.ctx.Err() != nil || errors.Is(err, types.ErrClosed) || errors.Is(err, types.ErrDeleted) {
+				return
+			}
+			n.spill.Remove(oid)
+			rctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
+			_ = n.dir.RemoveLocation(rctx, oid)
+			cancel()
+			return
+		}
+		buf.Seal()
+		rctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
+		_ = n.dir.PutComplete(rctx, oid) // promote Spilled → Complete
+		cancel()
+	}()
+	return buf, true
 }
 
 // runPull executes the transfer loop with sender failover: on a broken

@@ -504,7 +504,7 @@ func (n *Node) reduceTree(ctx context.Context, target types.ObjectID, num int, o
 	targetDone := make(chan struct{}, 1)
 	trec, err := n.dir.Subscribe(ctx, target, func(u directory.Update) {
 		for _, l := range u.Locs {
-			if l.Progress == types.ProgressComplete {
+			if l.Progress.HasAll() {
 				select {
 				case targetDone <- struct{}{}:
 				default:
@@ -516,7 +516,7 @@ func (n *Node) reduceTree(ctx context.Context, target types.ObjectID, num int, o
 		return nil, err
 	}
 	for _, l := range trec.Locs {
-		if l.Progress == types.ProgressComplete {
+		if l.Progress.HasAll() {
 			targetDone <- struct{}{}
 			break
 		}
@@ -526,7 +526,7 @@ func (n *Node) reduceTree(ctx context.Context, target types.ObjectID, num int, o
 		var partial types.NodeID
 		var ok bool
 		for _, l := range locs {
-			if l.Progress == types.ProgressComplete {
+			if l.Progress.HasAll() {
 				return l.Node, true
 			}
 			if !ok {

@@ -36,12 +36,17 @@ type ObjectWriter struct {
 // Put there is no inline small-object fast path: every Created object
 // lives in the store, whatever its size.
 //
-// ctx governs the directory registration here and in Seal.
+// ctx governs the admission wait, the directory registration here, and
+// Seal. Under Config.MemoryLimit the allocation is admission-controlled:
+// when the new object cannot fit — even after demoting or evicting every
+// eligible cold object — Create blocks until room appears or ctx is done,
+// turning an out-of-memory condition into backpressure instead of
+// unbounded growth or failure.
 func (n *Node) Create(ctx context.Context, oid types.ObjectID, size int64) (*ObjectWriter, error) {
 	if size < 0 {
 		return nil, fmt.Errorf("core: create %v with negative size %d", oid, size)
 	}
-	buf, err := n.store.Create(oid, size, true)
+	buf, err := n.store.CreateAdmit(ctx, oid, size, true)
 	if err != nil {
 		return nil, err
 	}

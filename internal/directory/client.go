@@ -247,6 +247,18 @@ func (c *Client) AbortDownstream(ctx context.Context, oid types.ObjectID, receiv
 	return err
 }
 
+// MarkSpilled registers this node's location for oid as disk-backed: the
+// in-memory copy was demoted to the spill tier, or a restarted node is
+// re-offering an object rediscovered in its spill directory (size then
+// comes from the file; pass types.SizeUnknown to leave the recorded size
+// alone). A spilled location still serves pulls — the planner merely
+// prefers in-memory senders. ErrDeleted means the object was tombstoned
+// while spilled; the caller should discard the stale file.
+func (c *Client) MarkSpilled(ctx context.Context, oid types.ObjectID, size int64) error {
+	_, err := c.call(ctx, wire.Message{Method: wire.MethodMarkSpilled, OID: oid, Node: c.self, Size: size})
+	return err
+}
+
 // Record is a Lookup result.
 type Record struct {
 	Size   int64

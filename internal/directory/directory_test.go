@@ -537,3 +537,110 @@ func TestStats(t *testing.T) {
 		t.Fatalf("stats %+v", st)
 	}
 }
+
+// TestMarkSpilledRanking: a spilled location keeps serving but loses to
+// in-memory complete copies in sender selection, and beats partials.
+func TestMarkSpilledRanking(t *testing.T) {
+	cs := startShard(t, "mem", "disk", "part", "recv")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("ranked")
+	for _, c := range cs[:2] {
+		if err := c.PutStarted(ctx, oid, 100); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PutComplete(ctx, oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs[2].PutStarted(ctx, oid, 100); err != nil { // partial only
+		t.Fatal(err)
+	}
+	if err := cs[1].MarkSpilled(ctx, oid, 100); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := cs[3].Lookup(ctx, oid, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := map[types.NodeID]types.Progress{}
+	for _, l := range rec.Locs {
+		prog[l.Node] = l.Progress
+	}
+	if prog["mem"] != types.ProgressComplete || prog["disk"] != types.ProgressSpilled {
+		t.Fatalf("locations %v", prog)
+	}
+	// First acquire takes the in-memory copy, second the spilled one,
+	// third falls back to the partial.
+	l1, err := cs[3].AcquireSender(ctx, oid, false)
+	if err != nil || l1.Sender != "mem" {
+		t.Fatalf("first lease %+v (%v), want mem", l1, err)
+	}
+	l2, err := cs[3].AcquireSender(ctx, oid, false)
+	if err != nil || l2.Sender != "disk" {
+		t.Fatalf("second lease %+v (%v), want disk", l2, err)
+	}
+	l3, err := cs[3].AcquireSender(ctx, oid, false)
+	if err != nil || l3.Sender != "part" {
+		t.Fatalf("third lease %+v (%v), want part", l3, err)
+	}
+}
+
+// TestAcquireManyIncludesSpilled: the striping planner fills its slots
+// with in-memory senders first, then disk-backed ones — never partials.
+func TestAcquireManyIncludesSpilled(t *testing.T) {
+	cs := startShard(t, "mem", "disk", "part", "recv")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("striped")
+	for _, c := range cs[:2] {
+		if err := c.PutStarted(ctx, oid, 1000); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PutComplete(ctx, oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs[2].PutStarted(ctx, oid, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs[1].MarkSpilled(ctx, oid, 1000); err != nil {
+		t.Fatal(err)
+	}
+	ml, err := cs[3].AcquireSenders(ctx, oid, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ml.Senders) != 2 || ml.Senders[0] != "mem" || ml.Senders[1] != "disk" {
+		t.Fatalf("senders %v, want [mem disk]", ml.Senders)
+	}
+}
+
+// TestMarkSpilledLifecycle: restart re-registration creates the entry
+// (learning the size from the file), deletion tombstones it, and marking
+// a tombstoned object reports ErrDeleted so the stale file is discarded.
+func TestMarkSpilledLifecycle(t *testing.T) {
+	cs := startShard(t, "n1", "n2")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("reborn")
+	// Fresh registration (no prior locations): the restart path.
+	if err := cs[0].MarkSpilled(ctx, oid, 4096); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := cs[1].Lookup(ctx, oid, false)
+	if err != nil || rec.Size != 4096 {
+		t.Fatalf("rec %+v err %v", rec, err)
+	}
+	if len(rec.Locs) != 1 || rec.Locs[0].Progress != types.ProgressSpilled {
+		t.Fatalf("locs %v", rec.Locs)
+	}
+	// A spilled-only object is still acquirable.
+	l, err := cs[1].AcquireSender(ctx, oid, false)
+	if err != nil || l.Sender != "n1" || l.Size != 4096 {
+		t.Fatalf("lease %+v (%v)", l, err)
+	}
+	if _, err := cs[1].Delete(ctx, oid); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs[0].MarkSpilled(ctx, oid, 4096); !errors.Is(err, types.ErrDeleted) {
+		t.Fatalf("mark after delete: %v, want ErrDeleted", err)
+	}
+}

@@ -159,6 +159,8 @@ func (s *Server) handle(ctx context.Context, m wire.Message, p *wire.Peer) wire.
 		return s.delete(m)
 	case wire.MethodRemoveLoc:
 		return s.removeLoc(m)
+	case wire.MethodMarkSpilled:
+		return s.markSpilled(m)
 	case wire.MethodPurgeNode:
 		return s.purgeNode(m)
 	default:
@@ -241,11 +243,14 @@ func cyclicLocked(e *entry, candidate, receiver types.NodeID) bool {
 	return true // defensive: treat unexpected longer chains as cyclic
 }
 
-// pickLocked selects an eligible sender for receiver, preferring holders
-// with complete copies over partial ones (§3.4.1).
+// pickLocked selects an eligible sender for receiver, ranking in-memory
+// complete copies over spilled (disk-backed, still whole) ones over
+// partial ones (§3.4.1 extended with the spill tier): a memory sender
+// streams at memory bandwidth, a spilled sender at disk bandwidth, and a
+// partial sender only up to its watermark.
 func pickLocked(e *entry, receiver types.NodeID) (types.NodeID, bool) {
-	var partial types.NodeID
-	var havePartial bool
+	var best types.NodeID
+	bestRank := 0 // 1 = partial, 2 = spilled, 3 = complete in memory
 	for n, prog := range e.prog {
 		if n == receiver {
 			continue
@@ -256,14 +261,21 @@ func pickLocked(e *entry, receiver types.NodeID) (types.NodeID, bool) {
 		if cyclicLocked(e, n, receiver) {
 			continue
 		}
-		if prog == types.ProgressComplete {
+		rank := 1
+		switch prog {
+		case types.ProgressComplete:
+			rank = 3
+		case types.ProgressSpilled:
+			rank = 2
+		}
+		if rank == 3 {
 			return n, true
 		}
-		if !havePartial {
-			partial, havePartial = n, true
+		if rank > bestRank {
+			best, bestRank = n, rank
 		}
 	}
-	return partial, havePartial
+	return best, bestRank > 0
 }
 
 func (s *Server) acquire(ctx context.Context, m wire.Message) wire.Message {
@@ -320,14 +332,17 @@ func (s *Server) acquire(ctx context.Context, m wire.Message) wire.Message {
 	}
 }
 
-// acquireMany leases up to m.Num eligible senders holding *complete*
-// copies to the receiver in one atomic step, for a striped pull that
-// drains disjoint ranges from every copy concurrently. Unlike acquire it
-// never blocks: with no eligible complete copy the receiver falls back to
-// the single-sender (possibly partial, possibly waiting) path. Complete
-// holders never fetch, so multi-leases cannot create fetch cycles and no
-// deps entries are recorded; each lease is returned individually through
-// the existing Release/Abort methods.
+// acquireMany leases up to m.Num eligible senders holding whole copies —
+// complete in memory or spilled to disk — to the receiver in one atomic
+// step, for a striped pull that drains disjoint ranges from every copy
+// concurrently. In-memory copies are leased first; disk-backed senders
+// fill the remaining slots (they stream ranges straight off their
+// chunk-aligned spill file). Unlike acquire it never blocks: with no
+// eligible whole copy the receiver falls back to the single-sender
+// (possibly partial, possibly waiting) path. Whole-copy holders never
+// fetch, so multi-leases cannot create fetch cycles and no deps entries
+// are recorded; each lease is returned individually through the existing
+// Release/Abort methods.
 func (s *Server) acquireMany(m wire.Message) wire.Message {
 	receiver := m.Node
 	want := int(m.Num)
@@ -348,19 +363,29 @@ func (s *Server) acquireMany(m wire.Message) wire.Message {
 		s.mu.Unlock()
 		return resp
 	}
-	var leased []types.Location
+	var memory, disk []types.NodeID
 	for node, prog := range e.prog {
-		if len(leased) == want {
-			break
-		}
-		if node == receiver || prog != types.ProgressComplete {
+		if node == receiver || !prog.HasAll() {
 			continue
 		}
 		if _, busy := e.leasedTo[node]; busy {
 			continue
 		}
-		e.leasedTo[node] = receiver
-		leased = append(leased, types.Location{Node: node, Progress: prog})
+		if prog == types.ProgressComplete {
+			memory = append(memory, node)
+		} else {
+			disk = append(disk, node)
+		}
+	}
+	var leased []types.Location
+	for _, tier := range [2][]types.NodeID{memory, disk} {
+		for _, node := range tier {
+			if len(leased) == want {
+				break
+			}
+			e.leasedTo[node] = receiver
+			leased = append(leased, types.Location{Node: node, Progress: e.prog[node]})
+		}
 	}
 	if len(leased) == 0 {
 		if len(e.prog) == 0 {
@@ -524,6 +549,39 @@ func (s *Server) delete(m wire.Message) wire.Message {
 	e.prog = make(map[types.NodeID]types.Progress)
 	e.leasedTo = make(map[types.NodeID]types.NodeID)
 	e.deps = make(map[types.NodeID]types.NodeID)
+	e.wake()
+	notify := s.notifyLocked(m.OID, e)
+	s.mu.Unlock()
+	notify()
+	return resp
+}
+
+// markSpilled registers m.Node's location as disk-backed. Two callers:
+// a node that just demoted its in-memory copy to the spill tier
+// (downgrade from complete — the copy keeps serving pulls, only sender
+// ranking changes), and a restarted node re-offering the objects found in
+// its spill directory, with m.Size carrying the size learned from the
+// file. Marking an object the directory has tombstoned returns
+// ErrDeleted, which the caller uses to discard the stale spill file.
+func (s *Server) markSpilled(m wire.Message) wire.Message {
+	s.mu.Lock()
+	e := s.entryLocked(m.OID)
+	var resp wire.Message
+	if e.deleted {
+		resp.SetError(types.ErrDeleted)
+		s.mu.Unlock()
+		return resp
+	}
+	if len(e.prog) == 0 {
+		// First location after none — same re-creation accounting as
+		// putStarted (the restart-rediscovery path): receivers mid-retry
+		// must not resume partial bytes from a previous generation.
+		e.gen++
+	}
+	if e.size == types.SizeUnknown && m.Size >= 0 {
+		e.size = m.Size
+	}
+	e.prog[m.Node] = types.ProgressSpilled
 	e.wake()
 	notify := s.notifyLocked(m.OID, e)
 	s.mu.Unlock()

@@ -1,0 +1,340 @@
+// Package spill implements the capacity tier below the in-memory object
+// store (§3.1): a per-node directory of sealed object payloads persisted
+// to disk. When the store's memory budget runs out, cold complete copies
+// are demoted here instead of dropped; a demoted object keeps its
+// directory location (downgraded to the Spilled flavor) and can either be
+// restored into memory on a local Get or streamed straight off disk to a
+// remote receiver — including ranged striped sub-pulls, because files are
+// written chunk-aligned and served via ReadAt.
+//
+// Layout: one file per object, named <oid-hex>.obj, holding exactly the
+// payload bytes (the file length is the object size). Writes go through a
+// temp file and an atomic rename, so a crash mid-spill never leaves a
+// half-written object discoverable. On startup Open scans the directory
+// and rebuilds the index, which is how a restarted hoplited rediscovers
+// the objects it spilled in a previous life.
+package spill
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"hoplite/internal/types"
+)
+
+// objExt is the spill file extension; temp files use tmpExt until their
+// atomic rename.
+const (
+	objExt = ".obj"
+	tmpExt = ".tmp"
+)
+
+// Spill manages one node's on-disk spill directory. It is safe for
+// concurrent use.
+type Spill struct {
+	dir string
+
+	mu     sync.Mutex
+	sizes  map[types.ObjectID]int64
+	used   int64
+	closed bool
+	// pending tracks reservations: objects whose demotion has been
+	// decided (they are already gone from the store table) but whose
+	// file write has not published yet. Contains reports them as present
+	// and Open waits for the publish, so a reader that races a demotion
+	// finds the object in *some* tier at every instant.
+	pending map[types.ObjectID]*pendingWrite
+}
+
+type pendingWrite struct {
+	size int64
+	done chan struct{} // closed when the write publishes or aborts
+}
+
+// Entry describes one spilled object, as reported by List.
+type Entry struct {
+	OID  types.ObjectID
+	Size int64
+}
+
+// Open creates (or reopens) a spill directory and indexes the objects
+// already in it. Leftover temp files from a crashed spill are removed.
+func Open(dir string) (*Spill, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("spill: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spill: create %s: %w", dir, err)
+	}
+	s := &Spill{
+		dir:     dir,
+		sizes:   make(map[types.ObjectID]int64),
+		pending: make(map[types.ObjectID]*pendingWrite),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("spill: scan %s: %w", dir, err)
+	}
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, tmpExt) {
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, objExt) {
+			continue
+		}
+		oid, err := types.ObjectIDFromHex(strings.TrimSuffix(name, objExt))
+		if err != nil {
+			continue // foreign file; leave it alone
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		s.sizes[oid] = info.Size()
+		s.used += info.Size()
+	}
+	return s, nil
+}
+
+// Dir returns the spill directory path.
+func (s *Spill) Dir() string { return s.dir }
+
+func (s *Spill) path(oid types.ObjectID) string {
+	return filepath.Join(s.dir, oid.Hex()+objExt)
+}
+
+// Payload is the source of a spill write: anything exposing the object
+// size and a streaming dump of its (complete) bytes. *buffer.Buffer
+// satisfies it via DumpTo.
+type Payload interface {
+	Size() int64
+	DumpTo(w io.Writer) error
+}
+
+// Reserve marks oid as being spilled before its file write starts, so
+// Contains reports it present and Open blocks for the publish instead of
+// missing. It is called under the store lock, in the same critical
+// section that removes the object from the store table — that atomicity
+// is what guarantees a concurrent reader finds the object in some tier
+// at every instant. It must therefore stay cheap and non-blocking: a map
+// insert, no IO. A reservation is cleared by the Write that follows it
+// (publish on success, abort on failure).
+func (s *Spill) Reserve(oid types.ObjectID, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if _, ok := s.sizes[oid]; ok {
+		return
+	}
+	if _, ok := s.pending[oid]; ok {
+		return
+	}
+	s.pending[oid] = &pendingWrite{size: size, done: make(chan struct{})}
+}
+
+// Write persists a sealed payload, resolving the reservation made by
+// Reserve (an unreserved Write is also fine: it is briefly self-pending).
+// It is idempotent: an object already spilled is not rewritten (payloads
+// are immutable, so the bytes match). The write lands in a temp file
+// first and is renamed into place, so a concurrent Open or a crash can
+// never observe a short object.
+func (s *Spill) Write(oid types.ObjectID, src Payload) (err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return types.ErrClosed
+	}
+	if _, ok := s.sizes[oid]; ok {
+		if p, pend := s.pending[oid]; pend { // leftover reservation
+			delete(s.pending, oid)
+			close(p.done)
+		}
+		s.mu.Unlock()
+		return nil
+	}
+	p, ok := s.pending[oid]
+	if !ok {
+		p = &pendingWrite{size: src.Size(), done: make(chan struct{})}
+		s.pending[oid] = p
+	}
+	s.mu.Unlock()
+	// Publish or abort exactly once, whatever path exits below.
+	defer func() {
+		s.mu.Lock()
+		if s.pending[oid] == p {
+			delete(s.pending, oid)
+			if err == nil {
+				s.sizes[oid] = src.Size()
+				s.used += src.Size()
+			}
+		}
+		s.mu.Unlock()
+		close(p.done)
+	}()
+
+	tmp, err := os.CreateTemp(s.dir, oid.Hex()+"-*"+tmpExt)
+	if err != nil {
+		return fmt.Errorf("spill: temp for %v: %w", oid, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := src.DumpTo(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("spill: write %v: %w", oid, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("spill: close %v: %w", oid, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(oid)); err != nil {
+		return fmt.Errorf("spill: publish %v: %w", oid, err)
+	}
+	return nil
+}
+
+// Contains reports whether oid is spilled (published or reserved), and
+// its size.
+func (s *Spill) Contains(oid types.ObjectID) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size, ok := s.sizes[oid]; ok {
+		return size, ok
+	}
+	if p, ok := s.pending[oid]; ok {
+		return p.size, true
+	}
+	return 0, false
+}
+
+// waitPublished blocks until oid's in-flight write (if any) publishes or
+// aborts, returning the published size. The wait is bounded by one disk
+// write.
+func (s *Spill) waitPublished(oid types.ObjectID) (int64, bool) {
+	for {
+		s.mu.Lock()
+		if size, ok := s.sizes[oid]; ok {
+			s.mu.Unlock()
+			return size, true
+		}
+		p, ok := s.pending[oid]
+		s.mu.Unlock()
+		if !ok {
+			return 0, false
+		}
+		<-p.done
+	}
+}
+
+// Open returns an open read handle on a spilled object, waiting out an
+// in-flight demotion write first. The caller must Close it; the
+// underlying *os.File serves concurrent ReadAt calls, which is what lets
+// ranged striped sub-pulls stream disjoint ranges straight off disk.
+func (s *Spill) Open(oid types.ObjectID) (*os.File, int64, error) {
+	size, ok := s.waitPublished(oid)
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, 0, types.ErrClosed
+	}
+	if !ok {
+		return nil, 0, types.ErrNotFound
+	}
+	f, err := os.Open(s.path(oid))
+	if err != nil {
+		return nil, 0, fmt.Errorf("spill: open %v: %w", oid, err)
+	}
+	return f, size, nil
+}
+
+// ReadInto streams a spilled object into dst in blocks, calling write for
+// each block in order (the restore path: dst is typically a store buffer
+// whose Append advances the watermark so readers pipeline off the
+// restore). block <= 0 selects 4 MiB.
+func (s *Spill) ReadInto(oid types.ObjectID, block int, write func(p []byte) error) error {
+	f, size, err := s.Open(oid)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if block <= 0 {
+		block = 4 << 20
+	}
+	buf := make([]byte, block)
+	var off int64
+	for off < size {
+		n := int64(block)
+		if n > size-off {
+			n = size - off
+		}
+		if m, err := f.ReadAt(buf[:n], off); err != nil && !(err == io.EOF && int64(m) == n) {
+			return fmt.Errorf("spill: read %v at %d: %w", oid, off, err)
+		}
+		if err := write(buf[:n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// Remove deletes a spilled object (cluster-wide Delete, or a stale
+// rediscovered object whose directory entry is tombstoned). It reports
+// whether the object was present.
+func (s *Spill) Remove(oid types.ObjectID) bool {
+	s.mu.Lock()
+	size, ok := s.sizes[oid]
+	if ok {
+		delete(s.sizes, oid)
+		s.used -= size
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	_ = os.Remove(s.path(oid))
+	return true
+}
+
+// List returns every spilled object, for boot-time re-registration with
+// the directory.
+func (s *Spill) List() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.sizes))
+	for oid, size := range s.sizes {
+		out = append(out, Entry{OID: oid, Size: size})
+	}
+	return out
+}
+
+// Used returns the total bytes currently spilled.
+func (s *Spill) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Len returns the number of spilled objects.
+func (s *Spill) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sizes)
+}
+
+// Close marks the spill closed. Files stay on disk: they are the whole
+// point — the next Open on the same directory rediscovers them.
+func (s *Spill) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}

@@ -1,0 +1,239 @@
+package spill
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hoplite/internal/buffer"
+	"hoplite/internal/types"
+)
+
+func payload(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(int(seed) + i*7)
+	}
+	return b
+}
+
+func TestWriteOpenRemove(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := types.ObjectIDFromString("a")
+	data := payload(100000, 1)
+	if err := s.Write(oid, buffer.FromBytes(data)); err != nil {
+		t.Fatal(err)
+	}
+	size, ok := s.Contains(oid)
+	if !ok || size != int64(len(data)) {
+		t.Fatalf("Contains = %d,%v", size, ok)
+	}
+	if s.Used() != int64(len(data)) || s.Len() != 1 {
+		t.Fatalf("Used %d Len %d", s.Used(), s.Len())
+	}
+	f, size, err := s.Open(oid)
+	if err != nil || size != int64(len(data)) {
+		t.Fatalf("Open: %v (size %d)", err, size)
+	}
+	got := make([]byte, len(data))
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), got); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if !bytes.Equal(got, data) {
+		t.Fatal("payload mismatch")
+	}
+	// Idempotent re-write: no error, no double accounting.
+	if err := s.Write(oid, buffer.FromBytes(data)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used() != int64(len(data)) {
+		t.Fatalf("double-accounted: %d", s.Used())
+	}
+	if !s.Remove(oid) {
+		t.Fatal("Remove reported absent")
+	}
+	if _, ok := s.Contains(oid); ok || s.Used() != 0 {
+		t.Fatal("not removed")
+	}
+	if _, _, err := s.Open(oid); !errors.Is(err, types.ErrNotFound) {
+		t.Fatalf("Open after remove: %v", err)
+	}
+}
+
+func TestWriteRefusesIncomplete(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := buffer.New(1000)
+	b.Append(payload(500, 0))
+	if err := s.Write(types.ObjectIDFromString("partial"), b); err == nil {
+		t.Fatal("incomplete buffer spilled")
+	}
+	if s.Len() != 0 {
+		t.Fatal("short object indexed")
+	}
+}
+
+func TestReadInto(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := types.ObjectIDFromString("r")
+	data := payload(100001, 3) // odd size: exercises the short last block
+	if err := s.Write(oid, buffer.FromBytes(data)); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if err := s.ReadInto(oid, 4096, func(p []byte) error {
+		got = append(got, p...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("ReadInto mismatch")
+	}
+}
+
+// TestReopenRediscovers is the restart path: a second Spill over the same
+// directory indexes the objects the first one persisted, and cleans up
+// temp litter from a crashed write.
+func TestReopenRediscovers(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := types.ObjectIDFromString("a"), types.ObjectIDFromString("b")
+	da, db := payload(5000, 1), payload(7000, 2)
+	if err := s1.Write(a, buffer.FromBytes(da)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Write(b, buffer.FromBytes(db)); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	// Simulate a crash mid-spill and an unrelated file.
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef-123.tmp"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 || s2.Used() != int64(len(da)+len(db)) {
+		t.Fatalf("rediscovered %d objects, %d bytes", s2.Len(), s2.Used())
+	}
+	ents := s2.List()
+	sizes := map[types.ObjectID]int64{}
+	for _, e := range ents {
+		sizes[e.OID] = e.Size
+	}
+	if sizes[a] != int64(len(da)) || sizes[b] != int64(len(db)) {
+		t.Fatalf("List = %v", ents)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "deadbeef-123.tmp")); !os.IsNotExist(err) {
+		t.Fatal("temp litter survived reopen")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatal("foreign file was touched")
+	}
+}
+
+func TestClosedSpill(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	oid := types.ObjectIDFromString("x")
+	if err := s.Write(oid, buffer.FromBytes(payload(10, 0))); !errors.Is(err, types.ErrClosed) {
+		t.Fatalf("Write after close: %v", err)
+	}
+	if _, _, err := s.Open(oid); !errors.Is(err, types.ErrClosed) {
+		t.Fatalf("Open after close: %v", err)
+	}
+}
+
+type failingPayload struct{ size int64 }
+
+func (f failingPayload) Size() int64              { return f.size }
+func (f failingPayload) DumpTo(w io.Writer) error { return errors.New("disk on fire") }
+
+// TestReserveBridgesDemotionWindow: between a victim leaving the store
+// table and its file write publishing, the object must still be findable
+// — Contains reports a reservation, and Open waits for the publish.
+func TestReserveBridgesDemotionWindow(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := types.ObjectIDFromString("reserved")
+	data := payload(50000, 4)
+	s.Reserve(oid, int64(len(data)))
+	if size, ok := s.Contains(oid); !ok || size != int64(len(data)) {
+		t.Fatalf("reservation invisible: %d,%v", size, ok)
+	}
+	opened := make(chan error, 1)
+	go func() {
+		f, size, err := s.Open(oid) // must block until the write publishes
+		if err == nil {
+			defer f.Close()
+			if size != int64(len(data)) {
+				err = errors.New("bad size")
+			}
+		}
+		opened <- err
+	}()
+	select {
+	case err := <-opened:
+		t.Fatalf("Open returned before publish: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := s.Write(oid, buffer.FromBytes(data)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-opened; err != nil {
+		t.Fatalf("Open after publish: %v", err)
+	}
+}
+
+// TestReserveAbortedByFailedWrite: a reservation whose write fails is
+// cleared — waiters wake and the object reads as absent.
+func TestReserveAbortedByFailedWrite(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := types.ObjectIDFromString("doomed")
+	s.Reserve(oid, 100)
+	opened := make(chan error, 1)
+	go func() {
+		_, _, err := s.Open(oid)
+		opened <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := s.Write(oid, failingPayload{size: 100}); err == nil {
+		t.Fatal("failing write reported success")
+	}
+	if err := <-opened; !errors.Is(err, types.ErrNotFound) {
+		t.Fatalf("Open after aborted write: %v, want ErrNotFound", err)
+	}
+	if _, ok := s.Contains(oid); ok {
+		t.Fatal("aborted reservation still visible")
+	}
+}

@@ -1,10 +1,12 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"hoplite/internal/buffer"
 	"hoplite/internal/types"
@@ -400,4 +402,279 @@ func TestConcurrentReleaseVsEviction(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// sealedObj creates a sealed object of size bytes.
+func sealedObj(t *testing.T, s *Store, id types.ObjectID, size int, pinned bool) {
+	t.Helper()
+	b, err := s.Create(id, int64(size), pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(make([]byte, size)); err != nil {
+		t.Fatal(err)
+	}
+	b.Seal()
+}
+
+// TestTieredDemotionWatermarks checks the hysteresis: an allocation
+// crossing the high watermark demotes cold objects (never plain-evicts
+// them) down to the low watermark, oldest first.
+func TestTieredDemotionWatermarks(t *testing.T) {
+	var mu sync.Mutex
+	var demoted []types.ObjectID
+	s := NewTiered(Tier{
+		Capacity:  1000,
+		HighWater: 0.9,
+		LowWater:  0.5,
+		OnEvict: func(id types.ObjectID) {
+			t.Errorf("object %v evicted; tiered store must demote", id)
+		},
+		Demote: func(id types.ObjectID, b *buffer.Buffer) bool {
+			mu.Lock()
+			demoted = append(demoted, id)
+			mu.Unlock()
+			return true
+		},
+	})
+	for i := 0; i < 8; i++ {
+		sealedObj(t, s, oid(i), 100, false)
+	}
+	if s.Demotions() != 0 {
+		t.Fatalf("%d demotions below the high watermark", s.Demotions())
+	}
+	// used+size = 800+200 > 900: demote until used+200 <= 500.
+	sealedObj(t, s, oid(100), 200, false)
+	mu.Lock()
+	got := append([]types.ObjectID(nil), demoted...)
+	mu.Unlock()
+	if len(got) != 5 {
+		t.Fatalf("demoted %d objects, want 5 (%v)", len(got), got)
+	}
+	for i, id := range got {
+		if id != oid(i) {
+			t.Fatalf("demotion order %v; want coldest-first", got)
+		}
+	}
+	if s.Used() != 500 {
+		t.Fatalf("used %d after demotion, want 500", s.Used())
+	}
+	if s.Demotions() != 5 {
+		t.Fatalf("Demotions() = %d", s.Demotions())
+	}
+}
+
+// TestTieredDemotesPinnedAfterUnpinned: pinned objects are demotable (a
+// spilled copy still serves), but only after every cold unpinned replica.
+func TestTieredDemotesPinnedAfterUnpinned(t *testing.T) {
+	var mu sync.Mutex
+	var demoted []types.ObjectID
+	s := NewTiered(Tier{
+		Capacity:  1000,
+		HighWater: 0.9,
+		LowWater:  0.3,
+		Demote: func(id types.ObjectID, b *buffer.Buffer) bool {
+			mu.Lock()
+			demoted = append(demoted, id)
+			mu.Unlock()
+			return true
+		},
+	})
+	sealedObj(t, s, oid(0), 300, true) // pinned, cold
+	sealedObj(t, s, oid(1), 300, false)
+	sealedObj(t, s, oid(2), 300, false)
+	// 900+300 > 900: target 300-300=0 → both unpinned go, then the pinned.
+	sealedObj(t, s, oid(3), 300, true)
+	mu.Lock()
+	got := append([]types.ObjectID(nil), demoted...)
+	mu.Unlock()
+	want := []types.ObjectID{oid(1), oid(2), oid(0)}
+	if len(got) != len(want) {
+		t.Fatalf("demoted %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("demoted %v, want unpinned-then-pinned %v", got, want)
+		}
+	}
+}
+
+// TestDemoteFailureFallsBackToEviction: a spill tier refusing a victim
+// (disk trouble) degrades to plain eviction rather than wedging.
+func TestDemoteFailureFallsBackToEviction(t *testing.T) {
+	var evicted []types.ObjectID
+	s := NewTiered(Tier{
+		Capacity: 1000,
+		OnEvict:  func(id types.ObjectID) { evicted = append(evicted, id) },
+		Demote:   func(types.ObjectID, *buffer.Buffer) bool { return false },
+	})
+	sealedObj(t, s, oid(0), 900, false)
+	sealedObj(t, s, oid(1), 500, false)
+	if len(evicted) != 1 || evicted[0] != oid(0) {
+		t.Fatalf("evicted %v", evicted)
+	}
+	if s.Demotions() != 0 {
+		t.Fatal("failed demotion counted")
+	}
+}
+
+// TestCreateAdmitBackpressure: with admission on, an allocation that
+// cannot fit blocks until room appears (here: a Delete) or its ctx dies,
+// instead of overshooting the budget.
+func TestCreateAdmitBackpressure(t *testing.T) {
+	s := NewTiered(Tier{Capacity: 1000, Admission: true})
+	sealedObj(t, s, oid(0), 1000, true) // pinned: not evictable, no spill
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := s.CreateAdmit(ctx, oid(1), 500, true); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("CreateAdmit = %v, want deadline", err)
+	}
+	// Free room concurrently; the blocked admit must ride through.
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, err := s.CreateAdmit(ctx, oid(2), 500, true)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	s.Delete(oid(0))
+	if err := <-done; err != nil {
+		t.Fatalf("admit after delete: %v", err)
+	}
+	if s.Used() != 500 {
+		t.Fatalf("used %d", s.Used())
+	}
+}
+
+// TestAcquireRefBlocksDemotion: a live reader ref pins the buffer in
+// memory — demotion must skip it even when it is the coldest object, and
+// take it once released.
+func TestAcquireRefBlocksDemotion(t *testing.T) {
+	var mu sync.Mutex
+	demoted := map[types.ObjectID]bool{}
+	s := NewTiered(Tier{
+		Capacity:  1000,
+		HighWater: 0.9,
+		LowWater:  0.1,
+		Demote: func(id types.ObjectID, b *buffer.Buffer) bool {
+			mu.Lock()
+			demoted[id] = true
+			mu.Unlock()
+			return true
+		},
+	})
+	sealedObj(t, s, oid(0), 400, false)
+	ref, ok := s.Acquire(oid(0))
+	if !ok {
+		t.Fatal("acquire")
+	}
+	sealedObj(t, s, oid(1), 400, false)
+	sealedObj(t, s, oid(2), 400, false) // crosses high: demotes o1, skips reffed o0
+	mu.Lock()
+	if demoted[oid(0)] {
+		t.Fatal("demoted a buffer with a live ref")
+	}
+	if !demoted[oid(1)] {
+		t.Fatal("unreffed cold object not demoted")
+	}
+	mu.Unlock()
+	if !s.Contains(oid(0)) {
+		t.Fatal("reffed object left the store")
+	}
+	ref.Unref()
+	sealedObj(t, s, oid(3), 400, false)
+	mu.Lock()
+	defer mu.Unlock()
+	if !demoted[oid(0)] {
+		t.Fatal("released object not demoted under pressure")
+	}
+}
+
+// TestConcurrentAcquireVsDemotionRace hammers Acquire pins against
+// demotion-inducing creates (run with -race): the invariant is that no
+// buffer reaches the demote callback with a live ref, because a demoted
+// buffer's memory is about to be dropped from the table.
+func TestConcurrentAcquireVsDemotionRace(t *testing.T) {
+	s := NewTiered(Tier{
+		Capacity:  64 << 10,
+		HighWater: 0.9,
+		LowWater:  0.5,
+		Demote: func(id types.ObjectID, b *buffer.Buffer) bool {
+			if b.Refs() != 0 {
+				t.Errorf("demotion victim %v has %d live refs", id, b.Refs())
+			}
+			return true
+		},
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := seed; ; i += 7 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if b, ok := s.Acquire(oid(i % 64)); ok {
+					_ = b.Bytes()
+					b.Unref()
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < 2000; i++ {
+		id := oid(i % 64)
+		b, err := s.Create(id, 4<<10, false)
+		if errors.Is(err, types.ErrExists) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Append(make([]byte, 4<<10)); err == nil {
+			b.Seal()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if s.Demotions() == 0 {
+		t.Fatal("no demotions happened; pressure loop broken")
+	}
+}
+
+// TestPinnedDemoteFailureReinserts: when the spill tier refuses a pinned
+// victim (disk trouble), the object is re-inserted (overshooting the
+// budget) rather than dropped — a failed disk must not break Put's
+// serve-forever guarantee. Unpinned victims still degrade to eviction.
+func TestPinnedDemoteFailureReinserts(t *testing.T) {
+	var evicted []types.ObjectID
+	s := NewTiered(Tier{
+		Capacity:  1000,
+		HighWater: 0.9,
+		LowWater:  0.1,
+		OnEvict:   func(id types.ObjectID) { evicted = append(evicted, id) },
+		Demote:    func(types.ObjectID, *buffer.Buffer) bool { return false },
+	})
+	sealedObj(t, s, oid(0), 400, true)  // pinned local
+	sealedObj(t, s, oid(1), 400, false) // unpinned replica
+	sealedObj(t, s, oid(2), 400, false) // crosses high → both victims fail to demote
+	if !s.Contains(oid(0)) {
+		t.Fatal("pinned object dropped after a failed demotion")
+	}
+	if s.Contains(oid(1)) {
+		t.Fatal("unpinned replica survived a failed demotion")
+	}
+	if len(evicted) != 1 || evicted[0] != oid(1) {
+		t.Fatalf("evicted %v, want just the unpinned replica", evicted)
+	}
+	if got, ok := s.Get(oid(0)); !ok || !got.Complete() {
+		t.Fatal("reinserted pinned object unreadable")
+	}
+	if s.Used() != 800 { // 400 pinned (reinserted) + 400 new; replica evicted
+		t.Fatalf("used %d, want 800", s.Used())
+	}
 }

@@ -340,7 +340,7 @@ func (c *Cluster) Wait(ctx context.Context, oids []types.ObjectID, num int) (rea
 
 func hasComplete(locs []types.Location) bool {
 	for _, l := range locs {
-		if l.Progress == types.ProgressComplete {
+		if l.Progress.HasAll() {
 			return true
 		}
 	}

@@ -7,7 +7,9 @@
 // watermark after a sender failure (§3.5.1), while a ranged pull fetches
 // one sub-range of the object, which is how a striped Get drains disjoint
 // ranges from several complete copies at once. Failure detection is socket
-// liveness (§5.5).
+// liveness (§5.5). A pull is served from whatever tier holds the object:
+// an in-memory store buffer (streamed as its watermark advances) or a
+// sealed spill file (streamed off disk via ReadAt, without rehydration).
 package transport
 
 import (
@@ -49,10 +51,33 @@ const (
 	DefaultChunkSize = 256 << 10
 )
 
-// Getter resolves an ObjectID to the local buffer that should serve a
-// pull. Implementations may block briefly for a buffer whose directory
-// registration raced ahead of its local creation.
-type Getter func(ctx context.Context, oid types.ObjectID) (*buffer.Buffer, error)
+// Payload is what a Getter resolves a pull against: exactly one of Buf
+// (an in-memory store buffer, possibly still filling — the sender blocks
+// at its watermark) and File (a sealed, chunk-aligned spill file served
+// via ReadAt, so spilled objects relay straight off disk without being
+// rehydrated into memory) is set. Size must carry the object size when
+// File is used; Release, if non-nil, runs once the pull is done (closing
+// the file handle).
+type Payload struct {
+	Buf     *buffer.Buffer
+	File    io.ReaderAt
+	Size    int64
+	Release func()
+}
+
+// ObjectSize returns the full object size whichever backing is set.
+func (p *Payload) ObjectSize() int64 {
+	if p.Buf != nil {
+		return p.Buf.Size()
+	}
+	return p.Size
+}
+
+// Getter resolves an ObjectID to the local payload that should serve a
+// pull: the store buffer when the object is in memory, or its spill file
+// when it was demoted to disk. Implementations may block briefly for a
+// buffer whose directory registration raced ahead of its local creation.
+type Getter func(ctx context.Context, oid types.ObjectID) (Payload, error)
 
 // SendFailFunc is called when a sender observes its receiver's socket die
 // mid-transfer, so the node can clear the receiver's directory lease
@@ -220,23 +245,27 @@ func writeError(w *bufio.Writer, err error) error {
 // offset-to-end when length is 0. sentEOF reports whether the full stream
 // (terminated by the EOF frame) was handed to the writer.
 func (s *Server) servePull(ctx context.Context, bw *bufio.Writer, oid types.ObjectID, offset, length int64) (sentEOF bool, err error) {
-	buf, err := s.get(ctx, oid)
+	src, err := s.get(ctx, oid)
 	if err != nil {
 		return false, writeError(bw, err)
 	}
+	if src.Release != nil {
+		defer src.Release()
+	}
+	size := src.ObjectSize()
 	// Offset and length come off the wire: validate them before they can
-	// index the buffer (a negative or past-end value would panic the send
-	// loop).
-	if offset < 0 || offset > buf.Size() {
-		return false, writeError(bw, fmt.Errorf("pull offset %d out of range [0,%d]", offset, buf.Size()))
+	// index the payload (a negative or past-end value would panic the
+	// send loop).
+	if offset < 0 || offset > size {
+		return false, writeError(bw, fmt.Errorf("pull offset %d out of range [0,%d]", offset, size))
 	}
 	// Compare length against the remaining bytes rather than computing
 	// offset+length: a hostile huge length would overflow int64 and slip
 	// past an end > size check as a negative end.
-	if length < 0 || length > buf.Size()-offset {
-		return false, writeError(bw, fmt.Errorf("pull range [%d,+%d) out of range [0,%d]", offset, length, buf.Size()))
+	if length < 0 || length > size-offset {
+		return false, writeError(bw, fmt.Errorf("pull range [%d,+%d) out of range [0,%d]", offset, length, size))
 	}
-	end := buf.Size()
+	end := size
 	if length > 0 {
 		end = offset + length
 	}
@@ -244,16 +273,35 @@ func (s *Server) servePull(ctx context.Context, bw *bufio.Writer, oid types.Obje
 	// object size, not the range length).
 	var szb [9]byte
 	szb[0] = frameSize
-	binary.BigEndian.PutUint64(szb[1:], uint64(buf.Size()))
+	binary.BigEndian.PutUint64(szb[1:], uint64(size))
 	if _, err := bw.Write(szb[:]); err != nil {
 		return false, err
 	}
+	if src.Buf != nil {
+		if err := s.serveFromBuffer(ctx, bw, src.Buf, offset, end); err != nil {
+			return false, err
+		}
+	} else {
+		if err := s.serveFromFile(ctx, bw, src.File, offset, end); err != nil {
+			return false, err
+		}
+	}
+	if _, err := bw.Write([]byte{frameEOF}); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// serveFromBuffer streams [offset, end) of an in-memory buffer, blocking
+// at the watermark so a partial copy already feeds downstream transfers
+// (fine-grained pipelining, §3.3).
+func (s *Server) serveFromBuffer(ctx context.Context, bw *bufio.Writer, buf *buffer.Buffer, offset, end int64) error {
 	data := buf.Bytes()
 	off := offset
 	for off < end {
 		wm, _, err := buf.WaitAt(ctx, off)
 		if err != nil {
-			return false, writeError(bw, err)
+			return writeError(bw, err)
 		}
 		if wm > end {
 			wm = end
@@ -264,23 +312,50 @@ func (s *Server) servePull(ctx context.Context, bw *bufio.Writer, oid types.Obje
 				stop = wm
 			}
 			if err := writeFrameHeader(bw, frameChunk, uint32(stop-off)); err != nil {
-				return false, err
+				return err
 			}
 			if _, err := bw.Write(data[off:stop]); err != nil {
-				return false, err
+				return err
 			}
 			off = stop
 		}
 		// Flush at watermark boundaries so partial data reaches the
 		// receiver promptly.
 		if err := bw.Flush(); err != nil {
-			return false, err
+			return err
 		}
 	}
-	if _, err := bw.Write([]byte{frameEOF}); err != nil {
-		return false, err
+	return nil
+}
+
+// serveFromFile streams [offset, end) of a sealed spill file through a
+// pooled chunk buffer: the disk-backed relay path — the object is served
+// without rehydrating it into the store. The file is complete, so there
+// is no watermark to wait on; ctx is only consulted between chunks.
+func (s *Server) serveFromFile(ctx context.Context, bw *bufio.Writer, f io.ReaderAt, offset, end int64) error {
+	chunk := pool.Get(s.chunk)
+	defer pool.Put(chunk)
+	off := offset
+	for off < end {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n := int64(s.chunk)
+		if n > end-off {
+			n = end - off
+		}
+		if m, err := f.ReadAt(chunk[:n], off); err != nil && !(err == io.EOF && int64(m) == n) {
+			return writeError(bw, fmt.Errorf("spill read at %d: %w", off, err))
+		}
+		if err := writeFrameHeader(bw, frameChunk, uint32(n)); err != nil {
+			return err
+		}
+		if _, err := bw.Write(chunk[:n]); err != nil {
+			return err
+		}
+		off += n
 	}
-	return true, nil
+	return nil
 }
 
 // Stats returns the server's pull counters.

@@ -87,13 +87,27 @@ type NodeID string
 // Progress describes how much of an object a node currently holds.
 type Progress uint8
 
-// Progress values. The paper's directory stores a single bit per location:
-// partial or complete (§3.2).
+// Progress values. The paper's directory stores a single bit per location
+// — partial or complete (§3.2); the spill tier adds a third flavor,
+// Spilled: the node holds every byte, but on disk. A spilled location can
+// serve any pull (including ranged striped sub-pulls, streamed straight
+// off the chunk-aligned file), so for "does this node have the data"
+// decisions it counts as complete; the leasing planner merely prefers
+// in-memory senders over disk-backed ones.
 const (
 	ProgressNone Progress = iota
 	ProgressPartial
 	ProgressComplete
+	ProgressSpilled
 )
+
+// HasAll reports whether the location holds every byte of the object,
+// in memory (complete) or on disk (spilled). Sender-selection paths that
+// need a full copy — striping planners, reduce source pickers — test
+// HasAll; only ranking (memory before disk) distinguishes the two.
+func (p Progress) HasAll() bool {
+	return p == ProgressComplete || p == ProgressSpilled
+}
 
 // String implements fmt.Stringer.
 func (p Progress) String() string {
@@ -104,6 +118,8 @@ func (p Progress) String() string {
 		return "partial"
 	case ProgressComplete:
 		return "complete"
+	case ProgressSpilled:
+		return "spilled"
 	default:
 		return fmt.Sprintf("progress(%d)", uint8(p))
 	}

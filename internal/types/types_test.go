@@ -82,7 +82,7 @@ func TestDeriveDistinct(t *testing.T) {
 }
 
 func TestProgressString(t *testing.T) {
-	if ProgressPartial.String() != "partial" || ProgressComplete.String() != "complete" || ProgressNone.String() != "none" {
+	if ProgressPartial.String() != "partial" || ProgressComplete.String() != "complete" || ProgressNone.String() != "none" || ProgressSpilled.String() != "spilled" {
 		t.Fatal("progress strings wrong")
 	}
 }
@@ -275,5 +275,14 @@ func TestSentinelErrorsDistinct(t *testing.T) {
 				t.Fatalf("errors %d and %d alias", i, j)
 			}
 		}
+	}
+}
+
+func TestProgressHasAll(t *testing.T) {
+	if !ProgressComplete.HasAll() || !ProgressSpilled.HasAll() {
+		t.Fatal("whole copies must report HasAll")
+	}
+	if ProgressNone.HasAll() || ProgressPartial.HasAll() {
+		t.Fatal("partial copies must not report HasAll")
 	}
 }

@@ -25,6 +25,7 @@
 //	u32  sources count + count × [20]
 //	u32  locs count    + count × (u16 node len + bytes + u8 progress)
 //	u32  payload len   + bytes
+
 package wire
 
 import (

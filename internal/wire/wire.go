@@ -44,6 +44,7 @@ const (
 	MethodPurgeNode   // drop every location on a (failed) node
 	MethodNotify      // server→client push: location update
 	MethodRemoveLoc   // drop one (object, node) location (eviction)
+	MethodMarkSpilled // downgrade/register a node's location as disk-backed (spill tier)
 
 	// Node control plane.
 	MethodReduceStart  // coordinator → participant: run (or replace) a tree slot
