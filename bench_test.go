@@ -244,6 +244,60 @@ func BenchmarkPutGet1MB(b *testing.B) {
 	}
 }
 
+// benchOIDOnShard crafts an ObjectID that maps to the given directory
+// shard, so the failover benchmark targets the killed primary's shard.
+func benchOIDOnShard(b *testing.B, label string, shards, want int) hoplite.ObjectID {
+	b.Helper()
+	for i := 0; i < 1_000_000; i++ {
+		oid := hoplite.ObjectIDFromString(fmt.Sprintf("%s-%d", label, i))
+		if oid.Shard(shards) == want {
+			return oid
+		}
+	}
+	b.Fatal("could not craft ObjectID on shard")
+	return hoplite.ObjectID{}
+}
+
+// BenchmarkDirectoryFailover measures metadata-plane recovery: the wall
+// time from killing a directory shard's primary replica to the first
+// successful mutation on that shard through the promoted backup — the
+// lease expiry + succession probe + promotion window the client's
+// failover retry loop rides out.
+func BenchmarkDirectoryFailover(b *testing.B) {
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := hoplite.StartLocalCluster(3, hoplite.Options{
+			Emulate: &netem.LinkConfig{Latency: 200 * time.Microsecond, BytesPerSec: 1.25e9},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		warm := benchOIDOnShard(b, fmt.Sprintf("failover-warm-%d", i), c.Size(), 0)
+		if err := c.Node(1).Put(ctx, warm, []byte("warm the shard-0 path")); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.KillNode(0); err != nil { // shard 0's primary
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		start := time.Now()
+		pctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		oid := benchOIDOnShard(b, fmt.Sprintf("failover-probe-%d", i), c.Size(), 0)
+		if err := c.Node(1).Put(pctx, oid, []byte("first write after primary kill")); err != nil {
+			b.Fatalf("mutation never recovered: %v", err)
+		}
+		cancel()
+		total += time.Since(start)
+		b.StopTimer()
+		c.Close()
+	}
+	if b.N > 0 {
+		b.ReportMetric(float64(total.Microseconds())/1000/float64(b.N), "ms/recovery")
+	}
+}
+
 func BenchmarkBroadcast8Nodes4MB(b *testing.B) {
 	c, err := hoplite.StartLocalCluster(8, hoplite.Options{})
 	if err != nil {

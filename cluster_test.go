@@ -101,14 +101,42 @@ func TestRestartNodeRejoins(t *testing.T) {
 	}
 }
 
-// TestRestartShardNodeRefused ensures shard hosts cannot be restarted.
-func TestRestartShardNodeRefused(t *testing.T) {
-	c := startCluster(t, 3, Options{Emulate: slowEmu(), ShardNodes: 2})
-	if err := c.RestartNode(1); err == nil {
-		t.Fatal("restarting a shard host succeeded")
+// TestRestartShardHost restarts nodes hosting directory shard replicas —
+// with replication, a shard host no longer takes its shards' metadata
+// down with it: the restarted node rebinds its old address, rejoins its
+// groups as an out-of-sync backup, and is re-synced by the promoted
+// primaries.
+func TestRestartShardHost(t *testing.T) {
+	ctx := testCtx(t)
+	c := startCluster(t, 3, Options{Emulate: slowEmu()})
+	defer c.Close()
+	data := payload(2<<20, 9)
+	oid := oidOnShard(t, "shost", c.Size(), 1)
+	if err := c.Node(0).Put(ctx, oid, data); err != nil {
+		t.Fatal(err)
 	}
-	if err := c.RestartNode(0); err == nil {
-		t.Fatal("restarting shard host 0 succeeded")
+	// Node 1 is shard 1's initial primary and a backup of shards 0 and 2.
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := c.RestartNode(1); err != nil {
+		t.Fatalf("RestartNode on shard host: %v", err)
+	}
+	got, err := c.Node(1).Get(ctx, oid)
+	if err != nil {
+		t.Fatalf("Get on restarted shard host: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("restarted shard host payload mismatch")
+	}
+	// The restarted host serves new objects on its shards too.
+	oid2 := oidOnShard(t, "shost2", c.Size(), 1)
+	if err := c.Node(1).Put(ctx, oid2, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Node(2).Get(ctx, oid2); err != nil {
+		t.Fatal(err)
 	}
 }
 

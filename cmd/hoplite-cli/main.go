@@ -26,21 +26,30 @@ import (
 
 func main() {
 	shards := flag.String("shards", "", "comma-separated directory shard addresses (required)")
+	replication := flag.Int("replication", 1, "the cluster's directory replication factor (must match the hoplited daemons)")
 	timeout := flag.Duration("timeout", 30*time.Second, "operation timeout")
 	flag.Parse()
 	args := flag.Args()
 	if *shards == "" || len(args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: hoplite-cli -shards HOST:PORT[,...] {put KEY FILE | get KEY FILE | stat KEY | delete KEY}")
+		fmt.Fprintln(os.Stderr, "usage: hoplite-cli -shards HOST:PORT[,...] [-replication R] {put KEY FILE | get KEY FILE | stat KEY | delete KEY}")
 		os.Exit(2)
 	}
 	var shardList []string
 	for _, s := range strings.Split(*shards, ",") {
 		shardList = append(shardList, strings.TrimSpace(s))
 	}
+	// Mirror hoplited's topology derivation (the shared helper guarantees
+	// it) so the CLI's directory client fails over across shard replicas
+	// instead of pinning to the initial primaries.
+	var topology [][]string
+	if *replication > 1 {
+		topology = hoplite.ReplicaGroups(shardList, *replication)
+	}
 
 	node, err := hoplite.NewNode(hoplite.Config{
-		Fabric:          &netem.TCP{},
-		DirectoryShards: shardList,
+		Fabric:            &netem.TCP{},
+		DirectoryShards:   shardList,
+		DirectoryTopology: topology,
 	})
 	if err != nil {
 		log.Fatalf("join cluster: %v", err)

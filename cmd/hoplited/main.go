@@ -10,6 +10,13 @@
 //	hoplited -listen 10.0.0.2:7077 -shards 10.0.0.1:7077
 //	hoplited -listen 10.0.0.3:7077 -shards 10.0.0.1:7077
 //
+//	# replicated directory: 3 shard hosts, each shard on 2 of them in
+//	# succession order; every daemon gets identical -shards/-replication
+//	hoplited -listen 10.0.0.1:7077 -shards 10.0.0.1:7077,10.0.0.2:7077,10.0.0.3:7077 -replication 2
+//	hoplited -listen 10.0.0.2:7077 -shards 10.0.0.1:7077,10.0.0.2:7077,10.0.0.3:7077 -replication 2
+//	hoplited -listen 10.0.0.3:7077 -shards 10.0.0.1:7077,10.0.0.2:7077,10.0.0.3:7077 -replication 2
+//	hoplited -listen 10.0.0.4:7077 -shards 10.0.0.1:7077,10.0.0.2:7077,10.0.0.3:7077 -replication 2  # worker
+//
 //	# bounded memory with a disk spill tier (out-of-core working sets)
 //	hoplited -listen 10.0.0.2:7077 -shards 10.0.0.1:7077 \
 //	    -memory-limit 8589934592 -spill-dir /data/hoplite-spill
@@ -40,6 +47,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on (control + data plane)")
 	shards := flag.String("shards", "", "comma-separated directory shard addresses (defaults to this node when -host-shard)")
 	hostShard := flag.Bool("host-shard", false, "host a directory shard on this node")
+	replication := flag.Int("replication", 1, "directory shard replication factor R: shard i is replicated on shards[i..i+R-1 mod n]; every daemon must be started with identical -shards and -replication values")
 	capacity := flag.Int64("capacity", 0, "legacy store capacity in bytes (0 = unlimited); prefer -memory-limit")
 	memLimit := flag.Int64("memory-limit", 0, "in-memory store budget in bytes with admission backpressure (0 = unlimited)")
 	spillDir := flag.String("spill-dir", "", "directory for the disk spill tier (empty = spill disabled); rescanned on restart")
@@ -58,22 +66,36 @@ func main() {
 			shardList = append(shardList, strings.TrimSpace(s))
 		}
 	}
+	// With -replication > 1 the flat shard list is expanded into replica
+	// groups (hoplite.ReplicaGroups — the same derivation on every
+	// member). Every daemon — shard hosts and plain workers — must be
+	// given identical -shards/-replication values so they derive the same
+	// topology; a daemon hosts a replica iff its listen address appears
+	// in a group.
+	var topology [][]string
+	if *replication > 1 {
+		if len(shardList) == 0 {
+			log.Fatal("hoplited: -replication requires -shards")
+		}
+		topology = hoplite.ReplicaGroups(shardList, *replication)
+	}
 	fab := &netem.TCP{ListenAddr: *listen}
 	ln, err := fab.Listen("")
 	if err != nil {
 		log.Fatalf("listen %s: %v", *listen, err)
 	}
 	node, err := hoplite.NewNode(hoplite.Config{
-		Fabric:          fab,
-		Listener:        ln,
-		HostShard:       *hostShard,
-		DirectoryShards: shardList,
-		StoreCapacity:   *capacity,
-		MemoryLimit:     *memLimit,
-		SpillDir:        *spillDir,
-		SpillHighWater:  *spillHigh,
-		SpillLowWater:   *spillLow,
-		SmallObject:     *small,
+		Fabric:            fab,
+		Listener:          ln,
+		HostShard:         *hostShard,
+		DirectoryShards:   shardList,
+		DirectoryTopology: topology,
+		StoreCapacity:     *capacity,
+		MemoryLimit:       *memLimit,
+		SpillDir:          *spillDir,
+		SpillHighWater:    *spillHigh,
+		SpillLowWater:     *spillLow,
+		SmallObject:       *small,
 	})
 	if err != nil {
 		log.Fatalf("start node: %v", err)

@@ -99,6 +99,33 @@ var SumF32 = ReduceOp{Kind: types.Sum, DType: types.F32}
 // NewNode starts a standalone node (production mode). See core.Config.
 func NewNode(cfg Config) (*Node, error) { return core.NewNode(cfg) }
 
+// ReplicaGroups derives the directory replica topology from an ordered
+// shard list: group i is shards[i .. i+r-1 mod n] in succession order,
+// with r clamped to [1, len(shards)]. Every member of a cluster —
+// daemons, workers, CLI clients — must derive its topology from the
+// identical list and factor, so this one helper is the only place the
+// wrap-around rule lives.
+func ReplicaGroups(shards []string, r int) [][]string {
+	if len(shards) == 0 {
+		return nil
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > len(shards) {
+		r = len(shards)
+	}
+	groups := make([][]string, len(shards))
+	for i := range groups {
+		group := make([]string, 0, r)
+		for j := 0; j < r; j++ {
+			group = append(group, shards[(i+j)%len(shards)])
+		}
+		groups[i] = group
+	}
+	return groups
+}
+
 // Options configures a local cluster.
 type Options struct {
 	// Emulate, if non-nil, shapes every node's links (one-way latency and
@@ -136,10 +163,19 @@ type Options struct {
 	// ReduceDegree forces the reduce tree degree (0 = automatic).
 	ReduceDegree int
 	// ShardNodes limits directory shards to the first k nodes (0 = every
-	// node hosts one). Keeping shards on "head" nodes lets worker nodes
-	// die and rejoin without taking directory state with them — the
-	// paper leaves directory fault tolerance to the framework (§6).
+	// node hosts one). Keeping shards on "head" nodes bounds how much
+	// directory state rides on any one worker — the paper leaves
+	// directory fault tolerance to the framework (§6); this reproduction
+	// provides it via replication, see ReplicationFactor.
 	ShardNodes int
+	// ReplicationFactor is how many nodes replicate each directory shard
+	// (default 3, capped at the number of shard-hosting nodes). Shard i's
+	// replica group is nodes i, i+1, ... (mod ShardNodes) in succession
+	// order: the primary forwards every mutation to the backups
+	// synchronously, and when it dies the next live replica promotes
+	// itself, so killing any single node never wedges directory metadata.
+	// 1 disables replication.
+	ReplicationFactor int
 	// Latency/Bandwidth are the cost-model estimates for degree
 	// selection; when Emulate is set they default to its values.
 	Latency   time.Duration
@@ -151,7 +187,7 @@ type Options struct {
 // coreConfig translates the cluster options into one node's core.Config.
 // Every node construction — initial boot and restart — goes through this
 // single helper so a new knob cannot be silently dropped from one path.
-func (o Options) coreConfig(fab netem.Fabric, name string, ln net.Listener, hostShard bool, shards []string) core.Config {
+func (o Options) coreConfig(fab netem.Fabric, name string, ln net.Listener, topology [][]string) core.Config {
 	spillDir := ""
 	if o.SpillDir != "" {
 		// One subdirectory per node: in-process cluster nodes must not
@@ -160,34 +196,34 @@ func (o Options) coreConfig(fab netem.Fabric, name string, ln net.Listener, host
 		spillDir = filepath.Join(o.SpillDir, name)
 	}
 	return core.Config{
-		Fabric:          fab,
-		Name:            name,
-		Listener:        ln,
-		HostShard:       hostShard,
-		DirectoryShards: shards,
-		SmallObject:     o.SmallObject,
-		PipelineBlock:   o.PipelineBlock,
-		StoreCapacity:   o.StoreCapacity,
-		MemoryLimit:     o.MemoryLimit,
-		SpillDir:        spillDir,
-		SpillHighWater:  o.SpillHighWater,
-		SpillLowWater:   o.SpillLowWater,
-		StripeThreshold: o.StripeThreshold,
-		MaxSources:      o.MaxSources,
-		Latency:         o.Latency,
-		Bandwidth:       o.Bandwidth,
-		ReduceDegree:    o.ReduceDegree,
+		Fabric:            fab,
+		Name:              name,
+		Listener:          ln,
+		DirectoryTopology: topology,
+		SmallObject:       o.SmallObject,
+		PipelineBlock:     o.PipelineBlock,
+		StoreCapacity:     o.StoreCapacity,
+		MemoryLimit:       o.MemoryLimit,
+		SpillDir:          spillDir,
+		SpillHighWater:    o.SpillHighWater,
+		SpillLowWater:     o.SpillLowWater,
+		StripeThreshold:   o.StripeThreshold,
+		MaxSources:        o.MaxSources,
+		Latency:           o.Latency,
+		Bandwidth:         o.Bandwidth,
+		ReduceDegree:      o.ReduceDegree,
 	}
 }
 
 // Cluster is a set of in-process Hoplite nodes sharing a fabric and a
-// sharded directory (one shard per node).
+// sharded, replicated directory.
 type Cluster struct {
-	fab    netem.Fabric
-	em     *netem.Emulated
-	opts   Options
-	shards []string
-	nodes  []*core.Node
+	fab      netem.Fabric
+	em       *netem.Emulated
+	opts     Options
+	addrs    []string   // every node's (stable) listen address
+	topology [][]string // directory shard replica groups
+	nodes    []*core.Node
 }
 
 // StartLocalCluster boots n nodes on the loopback fabric. Each node hosts
@@ -233,9 +269,17 @@ func StartLocalCluster(n int, opts Options) (*Cluster, error) {
 		lns = append(lns, ln)
 		addrs = append(addrs, ln.Addr().String())
 	}
-	c.shards = addrs[:shardNodes]
+	c.addrs = addrs
+	// Shard i's replica group is the R shard-hosting nodes starting at i,
+	// wrapping: group[0] is the initial primary and the rest the
+	// succession order.
+	r := opts.ReplicationFactor
+	if r == 0 {
+		r = 3
+	}
+	c.topology = ReplicaGroups(addrs[:shardNodes], r)
 	for i := 0; i < n; i++ {
-		node, err := core.NewNode(opts.coreConfig(fab, fmt.Sprintf("node-%d", i), lns[i], i < shardNodes, c.shards))
+		node, err := core.NewNode(opts.coreConfig(fab, fmt.Sprintf("node-%d", i), lns[i], c.topology))
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -245,7 +289,8 @@ func StartLocalCluster(n int, opts Options) (*Cluster, error) {
 	return c, nil
 }
 
-// Node returns the i-th node.
+// Node returns the i-th node (nil if the slot is empty after a failed
+// RestartNode).
 func (c *Cluster) Node(i int) *core.Node { return c.nodes[i] }
 
 // Nodes returns all nodes.
@@ -278,25 +323,32 @@ func (c *Cluster) KillNode(i int) error {
 	return nil
 }
 
-// RestartNode replaces a previously killed worker node with a fresh one
-// under the same fabric name (a restarted task process rejoining, §5.5).
-// It must not be used on nodes hosting directory shards.
+// RestartNode replaces a previously killed node with a fresh one under
+// the same fabric name and listen address (a restarted process rejoining,
+// §5.5). Former directory shard hosts are restartable too: the replica
+// topology is a static address list, so the rejoining node comes back as
+// an out-of-sync backup of its shards and is re-synced by each current
+// primary's snapshot push. On failure the node's slot is left empty (nil)
+// and the error returned; the restart can simply be retried — Close and
+// the other cluster methods tolerate the empty slot.
 func (c *Cluster) RestartNode(i int) error {
 	if c.em == nil {
 		return fmt.Errorf("hoplite: RestartNode requires an emulated fabric")
 	}
-	old := c.nodes[i].Addr()
-	for _, s := range c.shards {
-		if s == old {
-			return fmt.Errorf("hoplite: node %d hosts a directory shard and cannot be restarted", i)
-		}
+	if old := c.nodes[i]; old != nil {
+		old.Close()
+		c.nodes[i] = nil
 	}
-	c.nodes[i].Close()
 	name := fmt.Sprintf("node-%d", i)
 	c.em.Revive(name)
-	node, err := core.NewNode(c.opts.coreConfig(c.fab, name, nil, false, c.shards))
+	ln, err := c.em.ListenOn(name, c.addrs[i])
 	if err != nil {
-		return err
+		return fmt.Errorf("hoplite: restart node %d: %w", i, err)
+	}
+	node, err := core.NewNode(c.opts.coreConfig(c.fab, name, ln, c.topology))
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("hoplite: restart node %d: %w", i, err)
 	}
 	c.nodes[i] = node
 	return nil
@@ -329,10 +381,13 @@ func (c *Cluster) AllReduce(ctx context.Context, coordinator int, target ObjectI
 	return used, err
 }
 
-// Close shuts down every node and the fabric.
+// Close shuts down every node and the fabric. Slots left empty by a
+// failed RestartNode are skipped.
 func (c *Cluster) Close() error {
 	for _, n := range c.nodes {
-		n.Close()
+		if n != nil {
+			n.Close()
+		}
 	}
 	return c.fab.Close()
 }

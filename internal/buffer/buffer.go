@@ -63,6 +63,11 @@ type Buffer struct {
 	// exactly once when the buffer seals (nil) or fails (the error). They
 	// let futures resolve without parking a goroutine per waiter.
 	watchers []func(error)
+	// releaseHook, set by the owning store, runs (outside the buffer
+	// lock) every time the last reader pin drops: that is the moment a
+	// buffer becomes evictable without the store's byte accounting
+	// changing, so admission waiters need an explicit wakeup.
+	releaseHook func()
 }
 
 // New returns an empty buffer for an object of the given size, using the
@@ -377,7 +382,9 @@ func (b *Buffer) Ref() {
 	b.mu.Unlock()
 }
 
-// Unref drops one reader pin.
+// Unref drops one reader pin. Dropping the last pin fires the store's
+// release hook (outside the buffer lock), waking admission waiters for
+// whom this buffer just became evictable.
 func (b *Buffer) Unref() {
 	b.mu.Lock()
 	if b.refs <= 0 {
@@ -385,6 +392,22 @@ func (b *Buffer) Unref() {
 		panic("buffer: unref without ref")
 	}
 	b.refs--
+	var hook func()
+	if b.refs == 0 {
+		hook = b.releaseHook
+	}
+	b.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+// OnRelease installs the hook run each time the last reader pin drops.
+// Unlike OnDone watchers it is persistent; the store sets it once at
+// insert.
+func (b *Buffer) OnRelease(fn func()) {
+	b.mu.Lock()
+	b.releaseHook = fn
 	b.mu.Unlock()
 }
 

@@ -46,11 +46,25 @@ type Config struct {
 	Listener net.Listener
 	// DirectoryShards lists the control addresses of every directory
 	// shard. Nodes started by a Cluster host one shard each. Required
-	// unless the node hosts the only shard.
+	// unless the node hosts the only shard or DirectoryTopology is set.
+	// Legacy single-replica form of DirectoryTopology.
 	DirectoryShards []string
+	// DirectoryTopology lists every directory shard's replica group in
+	// succession order: Topology[i][0] is shard i's initial primary and
+	// the next live replica by index takes over on failure. A node hosts
+	// a replica of every group containing its own address. Takes
+	// precedence over DirectoryShards.
+	DirectoryTopology [][]string
 	// HostShard makes this node host a directory shard on its control
 	// plane.
 	HostShard bool
+	// DirHeartbeatInterval and DirLeaseTimeout tune the directory
+	// replication failure detector: the primary of each hosted shard
+	// heartbeats its backups every interval, and a backup that has not
+	// heard from a live predecessor within the lease promotes itself.
+	// Zero selects the directory package defaults (50ms / 300ms).
+	DirHeartbeatInterval time.Duration
+	DirLeaseTimeout      time.Duration
 
 	// SmallObject is the inline fast-path threshold in bytes.
 	// Defaults to DefaultSmallObject. Negative disables the fast path.

@@ -122,18 +122,48 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	n.store = store.NewTiered(tier)
 
-	shards := c.DirectoryShards
-	if c.HostShard {
-		n.shard = directory.NewServer()
-		if len(shards) == 0 {
-			shards = []string{addr}
+	// Resolve the directory topology: explicit replica groups, the legacy
+	// flat shard list (single-replica groups), or self-hosting the only
+	// shard.
+	topo := c.DirectoryTopology
+	if len(topo) == 0 {
+		for _, s := range c.DirectoryShards {
+			topo = append(topo, []string{s})
 		}
 	}
-	if len(shards) == 0 {
+	if len(topo) == 0 && c.HostShard {
+		topo = [][]string{{addr}}
+	}
+	if len(topo) == 0 {
 		ln.Close()
 		return nil, fmt.Errorf("core: no directory shards configured")
 	}
-	n.dir = directory.NewClient(n.id, shards, n.dialCtrl)
+	hostsReplica := false
+	for _, group := range topo {
+		for _, a := range group {
+			if a == addr {
+				hostsReplica = true
+			}
+		}
+	}
+	switch {
+	case hostsReplica:
+		n.shard = directory.NewReplicated(directory.Config{
+			Self:              addr,
+			Groups:            topo,
+			Dial:              n.dialCtrl,
+			HeartbeatInterval: c.DirHeartbeatInterval,
+			LeaseTimeout:      c.DirLeaseTimeout,
+		})
+	case c.HostShard:
+		// Flag-driven hosting where the listen address does not textually
+		// match any shard entry (e.g. -listen 0.0.0.0:7077 behind a
+		// -shards list naming the public address): the pre-replication
+		// standalone server, which accepts every op. Replication requires
+		// the listen address to appear in the topology verbatim.
+		n.shard = directory.NewServer()
+	}
+	n.dir = directory.NewReplicatedClient(n.id, topo, n.dialCtrl)
 
 	n.dataLn = newChanListener(ln.Addr())
 	n.ctrlLn = newChanListener(ln.Addr())
@@ -144,6 +174,12 @@ func NewNode(cfg Config) (*Node, error) {
 	go func() { defer n.wg.Done(); n.acceptLoop() }()
 	go func() { defer n.wg.Done(); _ = n.dataSrv.Serve() }()
 	go func() { defer n.wg.Done(); _ = n.ctrlSrv.Serve() }()
+	if n.shard != nil {
+		// Replication loops start after the control plane is serving, so
+		// peer replicas probing this shard during its boot query get
+		// answers instead of timeouts.
+		n.shard.Start()
+	}
 	if n.spill != nil && n.spill.Len() > 0 {
 		n.wg.Add(1)
 		go func() { defer n.wg.Done(); n.reofferSpilled() }()
@@ -469,6 +505,9 @@ func (n *Node) Close() error {
 	n.ln.Close()
 	n.ctrlSrv.Close()
 	n.dataSrv.Close()
+	if n.shard != nil {
+		n.shard.Close()
+	}
 	for _, c := range peers {
 		c.Close()
 	}

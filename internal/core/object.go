@@ -65,7 +65,10 @@ const deleteGrace = 1500 * time.Millisecond
 // deletion error (ErrDeleted/ErrAborted) inside the deleteGrace window.
 // Any other error, a ctx cancellation, or the window expiring surfaces
 // the last error. Every Get-shaped operation shares this one loop.
-func retryTransient[T any](ctx context.Context, op func() (T, error)) (T, error) {
+// Between attempts it blocks on await — an event-driven wakeup tied to
+// the object's directory record — instead of a fixed-period poll, so a
+// re-created object is retried the moment its first location registers.
+func retryTransient[T any](ctx context.Context, await func(context.Context), op func() (T, error)) (T, error) {
 	deadline := time.Now().Add(deleteGrace)
 	for {
 		v, err := op()
@@ -78,11 +81,40 @@ func retryTransient[T any](ctx context.Context, op func() (T, error)) (T, error)
 		if time.Now().After(deadline) {
 			return v, err
 		}
-		select {
-		case <-time.After(50 * time.Millisecond):
-		case <-ctx.Done():
+		wctx, cancel := context.WithDeadline(ctx, deadline)
+		await(wctx)
+		cancel()
+		if ctx.Err() != nil {
 			var zero T
 			return zero, ctx.Err()
+		}
+	}
+}
+
+// awaitRecreation returns the wakeup used by retryTransient: a directory
+// watch on oid that fires on the next record change (normally the
+// re-creation's PutStarted). If the record already shows life again — or
+// the directory is unreachable — it returns immediately (the retry loop's
+// grace deadline still bounds the overall wait).
+func (n *Node) awaitRecreation(oid types.ObjectID) func(context.Context) {
+	return func(ctx context.Context) {
+		ch := make(chan struct{}, 1)
+		rec, cancelWatch, err := n.dir.Watch(ctx, oid, func(directory.Update) {
+			select {
+			case ch <- struct{}{}:
+			default:
+			}
+		})
+		if err != nil && !errors.Is(err, types.ErrDeleted) {
+			return
+		}
+		defer cancelWatch()
+		if err == nil && (len(rec.Locs) > 0 || rec.Inline != nil) {
+			return // re-created between the failure and the watch
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
 		}
 	}
 }
@@ -90,7 +122,7 @@ func retryTransient[T any](ctx context.Context, op func() (T, error)) (T, error)
 // getBuffer returns a complete local buffer for oid, retrying across
 // transient deletions.
 func (n *Node) getBuffer(ctx context.Context, oid types.ObjectID) (*buffer.Buffer, error) {
-	return retryTransient(ctx, func() (*buffer.Buffer, error) {
+	return retryTransient(ctx, n.awaitRecreation(oid), func() (*buffer.Buffer, error) {
 		buf, err := n.ensureLocal(ctx, oid)
 		if err != nil {
 			return nil, err
@@ -121,7 +153,7 @@ func (n *Node) GetRef(ctx context.Context, oid types.ObjectID) (*ObjectRef, erro
 }
 
 func (n *Node) getRefSlow(ctx context.Context, oid types.ObjectID) (*ObjectRef, error) {
-	return retryTransient(ctx, func() (*ObjectRef, error) {
+	return retryTransient(ctx, n.awaitRecreation(oid), func() (*ObjectRef, error) {
 		if _, err := n.ensureLocal(ctx, oid); err != nil {
 			return nil, err
 		}
@@ -148,7 +180,7 @@ func (n *Node) getRefSlow(ctx context.Context, oid types.ObjectID) (*ObjectRef, 
 // It is a compat shim over the ref machinery: the store entry is pinned
 // for the duration of the copy-out.
 func (n *Node) Get(ctx context.Context, oid types.ObjectID) ([]byte, error) {
-	return retryTransient(ctx, func() ([]byte, error) { return n.getOnce(ctx, oid) })
+	return retryTransient(ctx, n.awaitRecreation(oid), func() ([]byte, error) { return n.getOnce(ctx, oid) })
 }
 
 func (n *Node) getOnce(ctx context.Context, oid types.ObjectID) ([]byte, error) {

@@ -162,13 +162,25 @@ func (n *Node) handleReduceStart(m wire.Message) wire.Message {
 	n.mu.Unlock()
 	if old != nil {
 		old.cancel()
-		// Drop the superseded epoch's local output so readers abort.
-		n.store.Delete(old.spec.OutputOID)
 	}
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
 		defer close(e.done)
+		if old != nil {
+			// Wait out the superseded executor (off the node lock) before
+			// touching its output: for the root slot both epochs share the
+			// target OutputOID, so a dying executor still inside its
+			// store.Create/Delete sequence would otherwise clobber the
+			// replacement's freshly created buffer and wedge the reduce.
+			select {
+			case <-old.done:
+			case <-n.ctx.Done():
+				return
+			}
+			// Drop the superseded epoch's local output so readers abort.
+			n.store.Delete(old.spec.OutputOID)
+		}
 		n.runReduceSlot(e)
 	}()
 	return resp

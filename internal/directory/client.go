@@ -2,14 +2,24 @@ package directory
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hoplite/internal/types"
 	"hoplite/internal/wire"
 )
+
+// failoverBackoff is how long a caller waits after unsuccessfully cycling
+// through a shard's whole replica group before trying again — roughly the
+// promotion detection granularity.
+const failoverBackoff = 30 * time.Millisecond
 
 // Update is a push notification about an object's directory record,
 // delivered to Subscribe callbacks (the paper's asynchronous location
@@ -25,42 +35,93 @@ type Update struct {
 // Dialer connects to a directory shard address.
 type Dialer func(ctx context.Context, addr string) (net.Conn, error)
 
-// Client talks to every shard of the directory on behalf of one node.
-// It is safe for concurrent use.
-type Client struct {
-	self   types.NodeID
-	shards []string
-	dial   Dialer
-
-	mu     sync.Mutex
-	conns  map[string]*wire.Client
-	closed bool
-
-	subMu sync.Mutex
-	subs  map[types.ObjectID][]func(Update)
+// subscription is one registered Subscribe/Watch callback.
+type subscription struct {
+	id int
+	fn func(Update)
 }
 
-// NewClient creates a directory client for a node. shards lists every
-// shard server address; an object's shard is oid.Shard(len(shards)).
+// Client talks to every shard of the directory on behalf of one node.
+// Each shard is a replica group: mutations go to the current primary and
+// fail over in succession order on connection errors (retried acquires
+// carry a per-client op sequence number, so the promoted backup returns
+// the committed lease instead of granting a second one); reads spread
+// across the replicas. It is safe for concurrent use.
+type Client struct {
+	self   types.NodeID
+	groups [][]string
+	dial   Dialer
+
+	opSeq atomic.Int64 // per-client mutation sequence for acquire dedupe
+
+	mu      sync.Mutex
+	conns   map[string]*wire.Client
+	primary []int // per-shard guess of the current primary's group index
+	readAt  []int // per-shard replica index currently serving reads
+	closed  bool
+	done    chan struct{}
+
+	subMu   sync.Mutex
+	subs    map[types.ObjectID][]subscription
+	subAddr map[types.ObjectID]string // replica currently pushing for each oid
+	nextSub int
+}
+
+// NewClient creates a directory client against unreplicated shards:
+// shards lists every shard server address; an object's shard is
+// oid.Shard(len(shards)). It is the single-replica form of NewReplicated.
 func NewClient(self types.NodeID, shards []string, dial Dialer) *Client {
-	return &Client{
-		self:   self,
-		shards: shards,
-		dial:   dial,
-		conns:  make(map[string]*wire.Client),
-		subs:   make(map[types.ObjectID][]func(Update)),
+	groups := make([][]string, len(shards))
+	for i, s := range shards {
+		groups[i] = []string{s}
 	}
+	return NewReplicatedClient(self, groups, dial)
+}
+
+// NewReplicatedClient creates a directory client for a node against a
+// replicated directory: groups[i] lists shard i's replica addresses in
+// succession order. An object's shard is oid.Shard(len(groups)).
+func NewReplicatedClient(self types.NodeID, groups [][]string, dial Dialer) *Client {
+	c := &Client{
+		self:    self,
+		groups:  groups,
+		dial:    dial,
+		conns:   make(map[string]*wire.Client),
+		primary: make([]int, len(groups)),
+		readAt:  make([]int, len(groups)),
+		done:    make(chan struct{}),
+		subs:    make(map[types.ObjectID][]subscription),
+		subAddr: make(map[types.ObjectID]string),
+	}
+	// Spread read traffic: each client starts its reads at a replica
+	// derived from its own identity instead of hammering the primary.
+	h := fnv.New32a()
+	h.Write([]byte(self))
+	for i, g := range groups {
+		// Modulo in uint32: int(h.Sum32()) is negative for high hashes
+		// on 32-bit platforms, and Go's % preserves the sign.
+		c.readAt[i] = int(h.Sum32() % uint32(len(g)))
+	}
+	// The retry-dedupe key is (NodeID, op seq), and a restarted node
+	// reuses its NodeID: starting every incarnation at seq 1 would make
+	// its first ops collide with its previous life's cached responses.
+	// Seed the sequence space at a random positive origin so each
+	// incarnation occupies its own range.
+	var seed [8]byte
+	if _, err := crand.Read(seed[:]); err == nil {
+		c.opSeq.Store(int64(binary.BigEndian.Uint64(seed[:]) >> 2)) // positive, headroom to count up
+	}
+	return c
 }
 
 // NumShards returns the number of directory shards.
-func (c *Client) NumShards() int { return len(c.shards) }
+func (c *Client) NumShards() int { return len(c.groups) }
 
 // Self returns the node this client acts for.
 func (c *Client) Self() types.NodeID { return c.self }
 
-func (c *Client) conn(ctx context.Context, oid types.ObjectID) (*wire.Client, error) {
-	addr := c.shards[oid.Shard(len(c.shards))]
-	return c.connTo(ctx, addr)
+func (c *Client) shardOf(oid types.ObjectID) int {
+	return oid.Shard(len(c.groups))
 }
 
 func (c *Client) connTo(ctx context.Context, addr string) (*wire.Client, error) {
@@ -81,6 +142,7 @@ func (c *Client) connTo(ctx context.Context, addr string) (*wire.Client, error) 
 	}
 	wc := wire.NewClient(nc, c.onNotify)
 	wc.OnOrphan(c.compensateOrphan)
+	wc.OnDown(func() { c.connDown(addr, wc) })
 
 	c.mu.Lock()
 	if c.closed {
@@ -98,14 +160,29 @@ func (c *Client) connTo(ctx context.Context, addr string) (*wire.Client, error) 
 	return wc, nil
 }
 
+func (c *Client) dropConn(addr string, wc *wire.Client) {
+	c.mu.Lock()
+	if c.conns[addr] == wc {
+		delete(c.conns, addr)
+	}
+	c.mu.Unlock()
+	wc.Close()
+}
+
 func (c *Client) onNotify(m wire.Message) {
 	u := Update{OID: m.OID, Size: m.Size, Locs: m.Locs, Inline: m.Payload}
 	if err := m.ErrorOf(); err == types.ErrDeleted {
 		u.Deleted = true
 	}
+	c.deliver(m.OID, u)
+}
+
+func (c *Client) deliver(oid types.ObjectID, u Update) {
 	c.subMu.Lock()
-	var fns []func(Update)
-	fns = append(fns, c.subs[m.OID]...)
+	fns := make([]func(Update), 0, len(c.subs[oid]))
+	for _, sub := range c.subs[oid] {
+		fns = append(fns, sub.fn)
+	}
 	c.subMu.Unlock()
 	for _, fn := range fns {
 		fn(u)
@@ -140,16 +217,182 @@ func (c *Client) compensateOrphan(req, resp wire.Message) {
 	}
 }
 
+// connDown reacts to a replica connection dying: drop it from the cache
+// and move every push subscription it carried onto a live replica, so
+// reduce coordinators and other passive subscribers keep receiving
+// updates without ever issuing another call on the dead connection.
+func (c *Client) connDown(addr string, wc *wire.Client) {
+	c.dropConn(addr, wc)
+	c.subMu.Lock()
+	var lost []types.ObjectID
+	for oid, a := range c.subAddr {
+		if a == addr && len(c.subs[oid]) > 0 {
+			lost = append(lost, oid)
+		}
+	}
+	c.subMu.Unlock()
+	if len(lost) == 0 {
+		return
+	}
+	go func() {
+		for _, oid := range lost {
+			c.resubscribe(oid)
+		}
+	}()
+}
+
+// resubscribe re-establishes the push subscription for oid on a live
+// replica and delivers the record returned by the new subscription as a
+// synthetic update, so no location transition is missed across the
+// switch.
+func (c *Client) resubscribe(oid types.ObjectID) {
+	backoff := 20 * time.Millisecond
+	for {
+		c.subMu.Lock()
+		alive := len(c.subs[oid]) > 0
+		c.subMu.Unlock()
+		if !alive {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		resp, addr, err := c.readCall(ctx, wire.Message{Method: wire.MethodSubscribe, OID: oid, Node: c.self})
+		cancel()
+		if err == nil || errors.Is(err, types.ErrDeleted) {
+			c.subMu.Lock()
+			c.subAddr[oid] = addr
+			c.subMu.Unlock()
+			c.deliver(oid, Update{
+				OID: oid, Size: resp.Size, Locs: resp.Locs,
+				Inline: resp.Payload, Deleted: errors.Is(err, types.ErrDeleted),
+			})
+			return
+		}
+		if errors.Is(err, types.ErrClosed) {
+			return
+		}
+		select {
+		case <-time.After(backoff):
+		case <-c.done:
+			return
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
+// call routes one mutation to its shard's current primary with failover.
+// Every mutation whose Node field carries the calling client is stamped
+// with a fresh per-client op sequence number before the first attempt,
+// so a retry is recognizably the same logical op: the shard dedupes on
+// (client, seq) and a response that died with the old primary — a lease
+// grant, a Delete's location list — is returned, not re-executed, by
+// its successor. AbortDownstream is exempt: its Node field names the
+// receiver, not the caller, so (Node, seq) is not a safe key — and the
+// op is idempotent under re-execution anyway.
 func (c *Client) call(ctx context.Context, m wire.Message) (wire.Message, error) {
-	wc, err := c.conn(ctx, m.OID)
-	if err != nil {
-		return wire.Message{}, err
+	if m.Method != wire.MethodAbortDown {
+		m.Num2 = c.opSeq.Add(1)
 	}
-	resp, err := wc.Call(ctx, m)
-	if err != nil {
-		return wire.Message{}, err
+	resp, _, err := c.route(ctx, c.shardOf(m.OID), m, false)
+	return resp, err
+}
+
+func (c *Client) callShard(ctx context.Context, shard int, m wire.Message) (wire.Message, error) {
+	resp, _, err := c.route(ctx, shard, m, false)
+	return resp, err
+}
+
+// readCall routes a read (Lookup/Subscribe) across the shard's replicas,
+// starting from this client's spread-assigned replica. It returns the
+// address that served the call, so subscriptions can be re-homed if that
+// replica dies.
+func (c *Client) readCall(ctx context.Context, m wire.Message) (wire.Message, string, error) {
+	return c.route(ctx, c.shardOf(m.OID), m, true)
+}
+
+// route is the shared failover loop: try the shard's replicas starting
+// from the remembered index (the believed primary for mutations, the
+// spread-assigned replica for reads), advancing on connection errors and
+// ErrNotPrimary bounces — following a bounce's primary hint — and
+// backing off one promotion window after each full unsuccessful cycle.
+// A cycle in which no replica was even dialable fails the call: a live
+// shard always has a dialable replica, so total unreachability means
+// this node is the dead or partitioned side.
+func (c *Client) route(ctx context.Context, shard int, m wire.Message, read bool) (wire.Message, string, error) {
+	group := c.groups[shard]
+	slot := func() *int {
+		if read {
+			return &c.readAt[shard]
+		}
+		return &c.primary[shard]
 	}
-	return resp, resp.ErrorOf()
+	c.mu.Lock()
+	idx := *slot()
+	c.mu.Unlock()
+	var lastErr error
+	reached := false // any replica dialable in the current cycle
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return wire.Message{}, "", lastErr
+			}
+			return wire.Message{}, "", err
+		}
+		addr := group[idx%len(group)]
+		wc, err := c.connTo(ctx, addr)
+		if err == nil {
+			reached = true
+			var resp wire.Message
+			resp, err = wc.Call(ctx, m)
+			if err == nil {
+				rerr := resp.ErrorOf()
+				if !errors.Is(rerr, types.ErrNotPrimary) {
+					c.mu.Lock()
+					*slot() = idx % len(group)
+					c.mu.Unlock()
+					return resp, addr, rerr
+				}
+				// Bounced off a backup (or an out-of-sync replica):
+				// follow its primary hint if it names another replica,
+				// otherwise try the next in order.
+				if hint := string(resp.Node); hint != "" {
+					for j, a := range group {
+						if a == hint && j != idx%len(group) {
+							idx = j - 1 // advanced below
+							break
+						}
+					}
+				}
+				lastErr = rerr
+			} else {
+				if ctx.Err() != nil {
+					return wire.Message{}, "", ctx.Err()
+				}
+				c.dropConn(addr, wc)
+				lastErr = err
+			}
+		} else {
+			if errors.Is(err, types.ErrClosed) {
+				return wire.Message{}, "", err
+			}
+			lastErr = err
+		}
+		idx++
+		if (attempt+1)%len(group) == 0 {
+			if !reached {
+				return wire.Message{}, "", lastErr
+			}
+			reached = false
+			select {
+			case <-time.After(failoverBackoff):
+			case <-ctx.Done():
+				return wire.Message{}, "", lastErr
+			case <-c.done:
+				return wire.Message{}, "", types.ErrClosed
+			}
+		}
+	}
 }
 
 // PutStarted registers a partial location: node began creating the object
@@ -170,7 +413,9 @@ func (c *Client) PutComplete(ctx context.Context, oid types.ObjectID) error {
 // PutInline stores a small object's payload directly in the directory
 // (§3.2, "optimization for small objects").
 func (c *Client) PutInline(ctx context.Context, oid types.ObjectID, payload []byte) error {
-	_, err := c.call(ctx, wire.Message{Method: wire.MethodPutInline, OID: oid, Payload: payload})
+	// Node carries the caller so the retry-dedupe key (client, seq) is
+	// client-unique; the inline apply itself does not use it.
+	_, err := c.call(ctx, wire.Message{Method: wire.MethodPutInline, OID: oid, Node: c.self, Payload: payload})
 	return err
 }
 
@@ -268,9 +513,9 @@ type Record struct {
 
 // Lookup returns the current directory record. With wait set, it blocks
 // until the object has at least one location (synchronous location query,
-// §3.2).
+// §3.2). Lookups are served by any in-sync replica of the shard.
 func (c *Client) Lookup(ctx context.Context, oid types.ObjectID, wait bool) (Record, error) {
-	resp, err := c.call(ctx, wire.Message{Method: wire.MethodLookup, OID: oid, Wait: wait})
+	resp, _, err := c.readCall(ctx, wire.Message{Method: wire.MethodLookup, OID: oid, Wait: wait})
 	if err != nil {
 		return Record{}, err
 	}
@@ -279,20 +524,65 @@ func (c *Client) Lookup(ctx context.Context, oid types.ObjectID, wait bool) (Rec
 
 // Subscribe registers fn for push notifications about oid and returns the
 // current record immediately. The subscription lives until Unsubscribe or
-// client close.
+// client close. Subscriptions are served by any in-sync replica — backups
+// fan out the updates they apply — and are transparently re-homed onto a
+// live replica when the serving one dies.
 func (c *Client) Subscribe(ctx context.Context, oid types.ObjectID, fn func(Update)) (Record, error) {
+	rec, _, err := c.watch(ctx, oid, fn)
+	return rec, err
+}
+
+// Watch is Subscribe with an individually removable callback: the
+// returned cancel removes just this registration (telling the shard to
+// stop pushing only when no other local callback for oid remains).
+func (c *Client) Watch(ctx context.Context, oid types.ObjectID, fn func(Update)) (Record, func(), error) {
+	rec, id, err := c.watch(ctx, oid, fn)
+	cancel := func() { c.unwatch(oid, id) }
+	return rec, cancel, err
+}
+
+func (c *Client) watch(ctx context.Context, oid types.ObjectID, fn func(Update)) (Record, int, error) {
 	c.subMu.Lock()
-	c.subs[oid] = append(c.subs[oid], fn)
+	c.nextSub++
+	id := c.nextSub
+	c.subs[oid] = append(c.subs[oid], subscription{id: id, fn: fn})
 	c.subMu.Unlock()
-	resp, err := c.call(ctx, wire.Message{Method: wire.MethodSubscribe, OID: oid, Node: c.self})
-	if err != nil && err != types.ErrDeleted {
-		return Record{}, err
+	resp, addr, err := c.readCall(ctx, wire.Message{Method: wire.MethodSubscribe, OID: oid, Node: c.self})
+	if err != nil && !errors.Is(err, types.ErrDeleted) {
+		c.unwatch(oid, id) // the shard never learned of this registration
+		return Record{}, id, err
 	}
+	c.subMu.Lock()
+	c.subAddr[oid] = addr
+	c.subMu.Unlock()
 	rec := Record{Size: resp.Size, Locs: resp.Locs, Inline: resp.Payload}
-	if err == types.ErrDeleted {
-		return rec, types.ErrDeleted
+	if errors.Is(err, types.ErrDeleted) {
+		return rec, id, types.ErrDeleted
 	}
-	return rec, nil
+	return rec, id, nil
+}
+
+func (c *Client) unwatch(oid types.ObjectID, id int) {
+	c.subMu.Lock()
+	subs := c.subs[oid]
+	for i, sub := range subs {
+		if sub.id == id {
+			subs = append(subs[:i], subs[i+1:]...)
+			break
+		}
+	}
+	var addr string
+	if len(subs) == 0 {
+		delete(c.subs, oid)
+		addr = c.subAddr[oid]
+		delete(c.subAddr, oid)
+	} else {
+		c.subs[oid] = subs
+	}
+	c.subMu.Unlock()
+	if addr != "" {
+		c.wireUnsubscribe(oid, addr)
+	}
 }
 
 // Unsubscribe removes all local callbacks for oid and tells the shard to
@@ -300,15 +590,38 @@ func (c *Client) Subscribe(ctx context.Context, oid types.ObjectID, fn func(Upda
 func (c *Client) Unsubscribe(ctx context.Context, oid types.ObjectID) error {
 	c.subMu.Lock()
 	delete(c.subs, oid)
+	addr := c.subAddr[oid]
+	delete(c.subAddr, oid)
 	c.subMu.Unlock()
-	_, err := c.call(ctx, wire.Message{Method: wire.MethodUnsubscribe, OID: oid, Node: c.self})
-	return err
+	if addr != "" {
+		c.wireUnsubscribe(oid, addr)
+	}
+	return nil
+}
+
+// wireUnsubscribe tells the replica that was pushing for oid to stop,
+// best effort: if it is unreachable its peer teardown drops the
+// subscription anyway.
+func (c *Client) wireUnsubscribe(oid types.ObjectID, addr string) {
+	c.mu.Lock()
+	wc := c.conns[addr]
+	c.mu.Unlock()
+	if wc == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, _ = wc.Call(ctx, wire.Message{Method: wire.MethodUnsubscribe, OID: oid, Node: c.self})
 }
 
 // Delete marks the object deleted and returns the locations that held
 // copies, so the caller can evict them from the node stores (§6).
 func (c *Client) Delete(ctx context.Context, oid types.ObjectID) ([]types.Location, error) {
-	resp, err := c.call(ctx, wire.Message{Method: wire.MethodDelete, OID: oid})
+	// Node carries the caller so the retry-dedupe key (client, seq) is
+	// client-unique: a Delete retried across a primary failover must get
+	// the original location list back (for the eviction fan-out), not a
+	// re-execution's empty one.
+	resp, err := c.call(ctx, wire.Message{Method: wire.MethodDelete, OID: oid, Node: c.self})
 	if err != nil {
 		return nil, err
 	}
@@ -325,18 +638,12 @@ func (c *Client) RemoveLocation(ctx context.Context, oid types.ObjectID) error {
 // shards; used when a node failure is detected.
 func (c *Client) PurgeNode(ctx context.Context, node types.NodeID) error {
 	var firstErr error
-	for _, addr := range c.shards {
-		wc, err := c.connTo(ctx, addr)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		resp, err := wc.Call(ctx, wire.Message{Method: wire.MethodPurgeNode, Node: node})
-		if err == nil {
-			err = resp.ErrorOf()
-		}
+	for shard := range c.groups {
+		_, err := c.callShard(ctx, shard, wire.Message{
+			Method: wire.MethodPurgeNode,
+			Node:   node,
+			Offset: int64(shard),
+		})
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -352,6 +659,7 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	close(c.done)
 	conns := make([]*wire.Client, 0, len(c.conns))
 	for _, wc := range c.conns {
 		conns = append(conns, wc)

@@ -5,11 +5,19 @@
 // atomic sender-acquisition protocol that drives receiver-driven broadcast
 // (§3.4.1), fetch-dependency tracking for cycle avoidance (§3.5.1), and the
 // small-object fast path that caches payloads < 64 KB inline (§3.2).
+//
+// Each shard is replicated across a group of servers (see replica.go): the
+// primary resolves and applies mutations and forwards them to backups,
+// which serve reads and Subscribe fan-out and promote themselves in
+// succession order when the primary dies. Every mutation therefore flows
+// through applyLocked, a deterministic state transition on the resolved
+// op, so primaries and backups converge on the same state.
 package directory
 
 import (
 	"context"
 	"sync"
+	"time"
 
 	"hoplite/internal/types"
 	"hoplite/internal/wire"
@@ -71,19 +79,96 @@ func (e *entry) snapshotLocs() []types.Location {
 	return locs
 }
 
-// Server hosts one shard of the directory.
+// Server hosts this node's directory shard replicas: for every replica
+// group in Config.Groups containing Config.Self, one primary-or-backup
+// replica. A zero-config server (NewServer) is the legacy standalone
+// mode: one unreplicated shard accepting every op.
 type Server struct {
-	srv *wire.Server
+	cfg Config
 
 	mu      sync.Mutex
 	entries map[types.ObjectID]*entry
+	reps    map[int]*replica
+	conns   map[string]*wire.Client
 	closed  bool
+
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
 }
 
-// NewServer creates a shard server; call Serve on the returned server's
-// wire listener via Start.
+// NewServer creates a standalone (unreplicated) shard server, the legacy
+// single-shard mode. Call Handler to embed it into a control plane.
 func NewServer() *Server {
-	return &Server{entries: make(map[types.ObjectID]*entry)}
+	return NewReplicated(Config{})
+}
+
+// NewReplicated creates a server hosting a replica of every shard group
+// in cfg.Groups that contains cfg.Self. Call Start after the control
+// plane begins serving, and Close on shutdown.
+func NewReplicated(cfg Config) *Server {
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = DefaultLeaseTimeout
+	}
+	s := &Server{
+		cfg:     cfg,
+		entries: make(map[types.ObjectID]*entry),
+		reps:    make(map[int]*replica),
+		conns:   make(map[string]*wire.Client),
+		done:    make(chan struct{}),
+	}
+	for i, group := range cfg.Groups {
+		selfIdx := -1
+		for j, addr := range group {
+			if addr == cfg.Self {
+				selfIdx = j
+				break
+			}
+		}
+		if selfIdx < 0 {
+			continue
+		}
+		r := &replica{
+			shard:    i,
+			group:    group,
+			selfIdx:  selfIdx,
+			lastBeat: time.Now(),
+			pending:  make(map[int64]wire.Message),
+			backups:  make(map[string]*backupState),
+			dedupe:   make(map[dedupeKey]wire.Message),
+		}
+		for _, addr := range group {
+			if addr != cfg.Self {
+				r.backups[addr] = &backupState{lastSeq: -1}
+			}
+		}
+		s.reps[i] = r
+	}
+	return s
+}
+
+// Close stops the replication loops and tears down replica connections.
+func (s *Server) Close() {
+	s.once.Do(func() { close(s.done) })
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]*wire.Client, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.conns = make(map[string]*wire.Client)
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
 }
 
 // Handler returns the wire handler for this shard, for embedding into a
@@ -133,36 +218,27 @@ func (s *Server) handle(ctx context.Context, m wire.Message, p *wire.Peer) wire.
 	switch m.Method {
 	case wire.MethodPing:
 		return wire.Message{Method: wire.MethodPing}
-	case wire.MethodPutStarted:
-		return s.putStarted(m)
-	case wire.MethodPutComplete:
-		return s.putComplete(m)
-	case wire.MethodPutInline:
-		return s.putInline(m)
 	case wire.MethodAcquire:
 		return s.acquire(ctx, m)
 	case wire.MethodAcquireMany:
 		return s.acquireMany(m)
-	case wire.MethodRelease:
-		return s.release(m)
-	case wire.MethodAbort:
-		return s.abort(m)
-	case wire.MethodAbortDown:
-		return s.abortDownstream(m)
 	case wire.MethodLookup:
 		return s.lookup(ctx, m)
 	case wire.MethodSubscribe:
 		return s.subscribe(m, p)
 	case wire.MethodUnsubscribe:
 		return s.unsubscribe(m, p)
-	case wire.MethodDelete:
-		return s.delete(m)
-	case wire.MethodRemoveLoc:
-		return s.removeLoc(m)
-	case wire.MethodMarkSpilled:
-		return s.markSpilled(m)
-	case wire.MethodPurgeNode:
-		return s.purgeNode(m)
+	case wire.MethodReplicate:
+		return s.replicate(m, p)
+	case wire.MethodDirHeartbeat:
+		return s.heartbeat(m, p)
+	case wire.MethodDirSnapshot:
+		return s.snapshot(m)
+	case wire.MethodPutStarted, wire.MethodPutComplete, wire.MethodPutInline,
+		wire.MethodRelease, wire.MethodAbort, wire.MethodAbortDown,
+		wire.MethodDelete, wire.MethodRemoveLoc, wire.MethodMarkSpilled,
+		wire.MethodPurgeNode:
+		return s.mutate(m)
 	default:
 		var resp wire.Message
 		resp.Err = "directory: unknown method"
@@ -170,60 +246,312 @@ func (s *Server) handle(ctx context.Context, m wire.Message, p *wire.Peer) wire.
 	}
 }
 
-func (s *Server) putStarted(m wire.Message) wire.Message {
-	s.mu.Lock()
-	e := s.entryLocked(m.OID)
-	var resp wire.Message
-	if e.deleted {
-		// A Put after Delete recreates the object (task re-execution).
-		e.deleted = false
-		e.inline = nil
+// shardOf returns the shard index a mutation targets: derived from the
+// OID, except PurgeNode (no OID) which carries it in Offset. -1 means
+// standalone mode (no topology).
+func (s *Server) shardOf(m *wire.Message) int {
+	if len(s.cfg.Groups) == 0 {
+		return -1
 	}
-	if len(e.prog) == 0 {
-		e.gen++
+	if m.Method == wire.MethodPurgeNode {
+		return int(m.Offset)
 	}
-	e.size = m.Size
-	if _, ok := e.prog[m.Node]; !ok {
-		e.prog[m.Node] = types.ProgressPartial
-	}
-	if m.Complete {
-		e.prog[m.Node] = types.ProgressComplete
-	}
-	e.wake()
-	notify := s.notifyLocked(m.OID, e)
-	s.mu.Unlock()
-	notify()
-	return resp
+	return s.shardOfOID(m.OID)
 }
 
-func (s *Server) putComplete(m wire.Message) wire.Message {
-	s.mu.Lock()
-	e := s.entryLocked(m.OID)
+// admitLocked gates a mutation: the op must target a shard replica hosted
+// here, the replica must be the in-sync primary, and a retried acquire
+// (same client sequence number) short-circuits to its cached response.
+// ok=false means resp is final.
+func (s *Server) admitLocked(m *wire.Message) (rep *replica, resp wire.Message, ok bool) {
+	if s.closed {
+		resp.SetError(types.ErrClosed)
+		return nil, resp, false
+	}
+	shard := s.shardOf(m)
+	if shard < 0 {
+		return nil, wire.Message{}, true // standalone: wildcard primary
+	}
+	rep = s.reps[shard]
+	if rep == nil {
+		resp.Err = "directory: shard not hosted here"
+		return nil, resp, false
+	}
+	if !rep.primary || rep.needSync {
+		resp.SetError(types.ErrNotPrimary)
+		resp.Node = types.NodeID(rep.primaryAddr) // best-effort successor hint
+		return nil, resp, false
+	}
+	if m.Num2 > 0 {
+		if cached, hit := rep.dedupe[dedupeKey{m.Node, m.Num2}]; hit {
+			return nil, cached, false
+		}
+	}
+	return rep, wire.Message{}, true
+}
+
+// readRedirectLocked gates reads: backups serve them from replicated
+// state, but an out-of-sync replica (restarted, or mid-takeover) must
+// bounce the reader to a replica with authoritative state.
+func (s *Server) readRedirectLocked(oid types.ObjectID) (wire.Message, bool) {
+	shard := s.shardOfOID(oid)
+	if shard < 0 {
+		return wire.Message{}, false
+	}
 	var resp wire.Message
-	if e.deleted {
-		resp.SetError(types.ErrDeleted)
+	rep := s.reps[shard]
+	if rep == nil {
+		resp.Err = "directory: shard not hosted here"
+		return resp, true
+	}
+	if rep.needSync {
+		resp.SetError(types.ErrNotPrimary)
+		resp.Node = types.NodeID(rep.primaryAddr)
+		return resp, true
+	}
+	return wire.Message{}, false
+}
+
+// mutate is the common path for every non-acquire mutation: admit,
+// apply, sequence + forward to backups, reply.
+func (s *Server) mutate(m wire.Message) wire.Message {
+	s.mu.Lock()
+	rep, resp, ok := s.admitLocked(&m)
+	if !ok {
 		s.mu.Unlock()
 		return resp
 	}
-	e.prog[m.Node] = types.ProgressComplete
-	e.wake()
-	notify := s.notifyLocked(m.OID, e)
+	resp, mutated, notify := s.applyLocked(m)
+	var fwd func() bool
+	if mutated {
+		fwd = s.commitLocked(rep, m, resp)
+	}
 	s.mu.Unlock()
-	notify()
+	if fwd != nil && !fwd() {
+		// Deposed mid-commit: the op exists only in this replica's
+		// soon-to-be-wiped history. Bounce the client to the real primary
+		// instead of acknowledging a write that will vanish.
+		return s.deposedResp(rep)
+	}
+	if notify != nil {
+		notify()
+	}
 	return resp
 }
 
-func (s *Server) putInline(m wire.Message) wire.Message {
-	s.mu.Lock()
-	e := s.entryLocked(m.OID)
-	e.deleted = false
-	e.inline = append([]byte(nil), m.Payload...)
-	e.size = int64(len(e.inline))
-	e.wake()
-	notify := s.notifyLocked(m.OID, e)
-	s.mu.Unlock()
-	notify()
-	return wire.Message{}
+// applyLocked performs one resolved op's deterministic state transition
+// and derives its response. It runs on the primary (between resolution
+// and commit) and on backups (replicated op, log replay, or promotion),
+// so it must not make choices — acquires arrive with the sender already
+// chosen. mutated reports whether the op changed state (and therefore
+// must be sequenced and forwarded).
+func (s *Server) applyLocked(m wire.Message) (resp wire.Message, mutated bool, notify func()) {
+	switch m.Method {
+	case wire.MethodPutStarted:
+		e := s.entryLocked(m.OID)
+		if e.deleted {
+			// A Put after Delete recreates the object (task re-execution).
+			e.deleted = false
+			e.inline = nil
+		}
+		if len(e.prog) == 0 {
+			e.gen++
+		}
+		e.size = m.Size
+		if _, ok := e.prog[m.Node]; !ok {
+			e.prog[m.Node] = types.ProgressPartial
+		}
+		if m.Complete {
+			e.prog[m.Node] = types.ProgressComplete
+		}
+		e.wake()
+		return resp, true, s.notifyLocked(m.OID, e)
+
+	case wire.MethodPutComplete:
+		e := s.entryLocked(m.OID)
+		if e.deleted {
+			resp.SetError(types.ErrDeleted)
+			return resp, false, nil
+		}
+		e.prog[m.Node] = types.ProgressComplete
+		e.wake()
+		return resp, true, s.notifyLocked(m.OID, e)
+
+	case wire.MethodPutInline:
+		e := s.entryLocked(m.OID)
+		e.deleted = false
+		e.inline = append([]byte(nil), m.Payload...)
+		e.size = int64(len(e.inline))
+		e.wake()
+		return resp, true, s.notifyLocked(m.OID, e)
+
+	case wire.MethodAcquire:
+		// m.Sender carries the sender chosen by the primary's resolution.
+		e := s.entryLocked(m.OID)
+		e.leasedTo[m.Sender] = m.Node
+		e.deps[m.Node] = m.Sender
+		if _, held := e.prog[m.Node]; !held {
+			e.prog[m.Node] = types.ProgressPartial
+		}
+		resp.Sender = m.Sender
+		resp.Size = e.size
+		resp.Gen = e.gen
+		return resp, true, s.notifyLocked(m.OID, e)
+
+	case wire.MethodAcquireMany:
+		// m.Locs carries the leases chosen by the primary's resolution.
+		e := s.entryLocked(m.OID)
+		for _, l := range m.Locs {
+			e.leasedTo[l.Node] = m.Node
+		}
+		if _, held := e.prog[m.Node]; !held {
+			e.prog[m.Node] = types.ProgressPartial
+		}
+		resp.Locs = m.Locs
+		resp.Size = e.size
+		resp.Gen = e.gen
+		e.wake()
+		return resp, true, s.notifyLocked(m.OID, e)
+
+	case wire.MethodRelease:
+		e := s.entryLocked(m.OID)
+		if e.leasedTo[m.Sender] == m.Node {
+			delete(e.leasedTo, m.Sender)
+		}
+		delete(e.deps, m.Node)
+		if m.Complete && !e.deleted {
+			e.prog[m.Node] = types.ProgressComplete
+		}
+		e.wake()
+		return resp, true, s.notifyLocked(m.OID, e)
+
+	case wire.MethodAbort:
+		// A failed transfer: the lease is returned and, when m.Complete is
+		// set (meaning "the sender is dead"), the sender's location is
+		// dropped. The receiver keeps its partial copy and will re-acquire,
+		// resuming from its watermark (§3.5.1).
+		e := s.entryLocked(m.OID)
+		if e.leasedTo[m.Sender] == m.Node {
+			delete(e.leasedTo, m.Sender)
+		}
+		delete(e.deps, m.Node)
+		if m.Complete {
+			delete(e.prog, m.Sender)
+		}
+		e.wake()
+		return resp, true, s.notifyLocked(m.OID, e)
+
+	case wire.MethodAbortDown:
+		// Sender-side failure report: the sender (m.Sender) observed its
+		// receiver's (m.Node) socket die mid-transfer. The lease is
+		// returned and the receiver's (possibly stale) partial location
+		// dropped; a live receiver that merely lost the connection
+		// re-registers itself on its next acquire.
+		e := s.entryLocked(m.OID)
+		if e.leasedTo[m.Sender] == m.Node {
+			delete(e.leasedTo, m.Sender)
+		}
+		delete(e.deps, m.Node)
+		if e.prog[m.Node] == types.ProgressPartial {
+			delete(e.prog, m.Node)
+		}
+		e.wake()
+		return resp, true, s.notifyLocked(m.OID, e)
+
+	case wire.MethodDelete:
+		e := s.entryLocked(m.OID)
+		resp.Locs = e.snapshotLocs()
+		e.deleted = true
+		e.inline = nil
+		e.prog = make(map[types.NodeID]types.Progress)
+		e.leasedTo = make(map[types.NodeID]types.NodeID)
+		e.deps = make(map[types.NodeID]types.NodeID)
+		e.wake()
+		return resp, true, s.notifyLocked(m.OID, e)
+
+	case wire.MethodRemoveLoc:
+		e := s.entryLocked(m.OID)
+		delete(e.prog, m.Node)
+		e.wake()
+		return resp, true, s.notifyLocked(m.OID, e)
+
+	case wire.MethodMarkSpilled:
+		// Register m.Node's location as disk-backed. Two callers: a node
+		// that just demoted its in-memory copy to the spill tier, and a
+		// restarted node re-offering the objects found in its spill
+		// directory, with m.Size carrying the size learned from the file.
+		// Marking a tombstoned object returns ErrDeleted, which the caller
+		// uses to discard the stale spill file.
+		e := s.entryLocked(m.OID)
+		if e.deleted {
+			resp.SetError(types.ErrDeleted)
+			return resp, false, nil
+		}
+		if len(e.prog) == 0 {
+			// First location after none — same re-creation accounting as
+			// PutStarted (the restart-rediscovery path): receivers
+			// mid-retry must not resume partial bytes from a previous
+			// generation.
+			e.gen++
+		}
+		if e.size == types.SizeUnknown && m.Size >= 0 {
+			e.size = m.Size
+		}
+		e.prog[m.Node] = types.ProgressSpilled
+		e.wake()
+		return resp, true, s.notifyLocked(m.OID, e)
+
+	case wire.MethodPurgeNode:
+		return s.applyPurgeLocked(m)
+
+	default:
+		resp.Err = "directory: unknown replicated op"
+		return resp, false, nil
+	}
+}
+
+// applyPurgeLocked drops every location and lease involving a failed node
+// across the targeted shard's entries.
+func (s *Server) applyPurgeLocked(m wire.Message) (wire.Message, bool, func()) {
+	node := m.Node
+	shard := s.shardOf(&m)
+	var notifies []func()
+	for oid, e := range s.entries {
+		if shard >= 0 && s.shardOfOID(oid) != shard {
+			continue
+		}
+		touched := false
+		if _, ok := e.prog[node]; ok {
+			delete(e.prog, node)
+			touched = true
+		}
+		if _, ok := e.leasedTo[node]; ok {
+			delete(e.leasedTo, node)
+			touched = true
+		}
+		if up, ok := e.deps[node]; ok {
+			// The failed node was fetching from up; return up's lease.
+			if e.leasedTo[up] == node {
+				delete(e.leasedTo, up)
+			}
+			delete(e.deps, node)
+			touched = true
+		}
+		for recv, up := range e.deps {
+			if up == node {
+				delete(e.deps, recv)
+			}
+		}
+		if touched {
+			e.wake()
+			notifies = append(notifies, s.notifyLocked(oid, e))
+		}
+	}
+	return wire.Message{}, true, func() {
+		for _, fn := range notifies {
+			fn()
+		}
+	}
 }
 
 // cyclicLocked reports whether candidate's fetch-dependency chain reaches
@@ -278,12 +606,20 @@ func pickLocked(e *entry, receiver types.NodeID) (types.NodeID, bool) {
 	return best, bestRank > 0
 }
 
+// acquire resolves a sender for the receiver and commits the lease: the
+// only blocking mutation. Each pass through the loop re-admits, so a
+// replica that loses primaryship while calls are parked bounces them to
+// the successor instead of leaving them waiting forever.
 func (s *Server) acquire(ctx context.Context, m wire.Message) wire.Message {
 	receiver := m.Node
 	for {
 		s.mu.Lock()
+		rep, resp, ok := s.admitLocked(&m)
+		if !ok {
+			s.mu.Unlock()
+			return resp
+		}
 		e := s.entryLocked(m.OID)
-		var resp wire.Message
 		switch {
 		case e.deleted:
 			resp.SetError(types.ErrDeleted)
@@ -296,17 +632,17 @@ func (s *Server) acquire(ctx context.Context, m wire.Message) wire.Message {
 			return resp
 		default:
 			if sender, ok := pickLocked(e, receiver); ok {
-				e.leasedTo[sender] = receiver
-				e.deps[receiver] = sender
-				if _, held := e.prog[receiver]; !held {
-					e.prog[receiver] = types.ProgressPartial
-				}
-				resp.Sender = sender
-				resp.Size = e.size
-				resp.Gen = e.gen
-				notify := s.notifyLocked(m.OID, e)
+				op := m
+				op.Sender = sender
+				resp, _, notify := s.applyLocked(op)
+				fwd := s.commitLocked(rep, op, resp)
 				s.mu.Unlock()
-				notify()
+				if fwd != nil && !fwd() {
+					return s.deposedResp(rep)
+				}
+				if notify != nil {
+					notify()
+				}
 				return resp
 			}
 		}
@@ -332,13 +668,12 @@ func (s *Server) acquire(ctx context.Context, m wire.Message) wire.Message {
 	}
 }
 
-// acquireMany leases up to m.Num eligible senders holding whole copies —
-// complete in memory or spilled to disk — to the receiver in one atomic
-// step, for a striped pull that drains disjoint ranges from every copy
-// concurrently. In-memory copies are leased first; disk-backed senders
-// fill the remaining slots (they stream ranges straight off their
-// chunk-aligned spill file). Unlike acquire it never blocks: with no
-// eligible whole copy the receiver falls back to the single-sender
+// acquireMany resolves up to m.Num eligible senders holding whole copies —
+// complete in memory or spilled to disk — and commits the leases in one
+// atomic step, for a striped pull that drains disjoint ranges from every
+// copy concurrently. In-memory copies are leased first; disk-backed
+// senders fill the remaining slots. Unlike acquire it never blocks: with
+// no eligible whole copy the receiver falls back to the single-sender
 // (possibly partial, possibly waiting) path. Whole-copy holders never
 // fetch, so multi-leases cannot create fetch cycles and no deps entries
 // are recorded; each lease is returned individually through the existing
@@ -350,8 +685,12 @@ func (s *Server) acquireMany(m wire.Message) wire.Message {
 		want = 1
 	}
 	s.mu.Lock()
+	rep, resp, ok := s.admitLocked(&m)
+	if !ok {
+		s.mu.Unlock()
+		return resp
+	}
 	e := s.entryLocked(m.OID)
-	var resp wire.Message
 	switch {
 	case e.deleted:
 		resp.SetError(types.ErrDeleted)
@@ -383,7 +722,6 @@ func (s *Server) acquireMany(m wire.Message) wire.Message {
 			if len(leased) == want {
 				break
 			}
-			e.leasedTo[node] = receiver
 			leased = append(leased, types.Location{Node: node, Progress: e.prog[node]})
 		}
 	}
@@ -396,82 +734,27 @@ func (s *Server) acquireMany(m wire.Message) wire.Message {
 		s.mu.Unlock()
 		return resp
 	}
-	if _, held := e.prog[receiver]; !held {
-		e.prog[receiver] = types.ProgressPartial
-	}
-	resp.Locs = leased
-	resp.Size = e.size
-	resp.Gen = e.gen
-	e.wake()
-	notify := s.notifyLocked(m.OID, e)
+	op := m
+	op.Locs = leased
+	resp, _, notify := s.applyLocked(op)
+	fwd := s.commitLocked(rep, op, resp)
 	s.mu.Unlock()
-	notify()
+	if fwd != nil && !fwd() {
+		return s.deposedResp(rep)
+	}
+	if notify != nil {
+		notify()
+	}
 	return resp
-}
-
-func (s *Server) release(m wire.Message) wire.Message {
-	s.mu.Lock()
-	e := s.entryLocked(m.OID)
-	if e.leasedTo[m.Sender] == m.Node {
-		delete(e.leasedTo, m.Sender)
-	}
-	delete(e.deps, m.Node)
-	if m.Complete && !e.deleted {
-		e.prog[m.Node] = types.ProgressComplete
-	}
-	e.wake()
-	notify := s.notifyLocked(m.OID, e)
-	s.mu.Unlock()
-	notify()
-	return wire.Message{}
-}
-
-// abort ends a failed transfer: the lease is returned and, when
-// m.Complete is set (meaning "the sender is dead"), the sender's location
-// is dropped. The receiver keeps its partial copy and will re-acquire,
-// resuming from its watermark (§3.5.1).
-func (s *Server) abort(m wire.Message) wire.Message {
-	s.mu.Lock()
-	e := s.entryLocked(m.OID)
-	if e.leasedTo[m.Sender] == m.Node {
-		delete(e.leasedTo, m.Sender)
-	}
-	delete(e.deps, m.Node)
-	if m.Complete { // Complete here means "remove the dead sender's location"
-		delete(e.prog, m.Sender)
-	}
-	e.wake()
-	notify := s.notifyLocked(m.OID, e)
-	s.mu.Unlock()
-	notify()
-	return wire.Message{}
-}
-
-// abortDownstream is the sender-side failure report: the sender (m.Sender)
-// observed its receiver's (m.Node) socket die mid-transfer. The lease is
-// returned and the receiver's (possibly stale) partial location is
-// dropped; a live receiver that merely lost the connection re-registers
-// itself on its next acquire.
-func (s *Server) abortDownstream(m wire.Message) wire.Message {
-	s.mu.Lock()
-	e := s.entryLocked(m.OID)
-	if e.leasedTo[m.Sender] == m.Node {
-		delete(e.leasedTo, m.Sender)
-	}
-	delete(e.deps, m.Node)
-	if e.prog[m.Node] == types.ProgressPartial {
-		delete(e.prog, m.Node)
-	}
-	e.wake()
-	notify := s.notifyLocked(m.OID, e)
-	s.mu.Unlock()
-	notify()
-	return wire.Message{}
 }
 
 func (s *Server) lookup(ctx context.Context, m wire.Message) wire.Message {
 	for {
 		s.mu.Lock()
+		if redirect, ok := s.readRedirectLocked(m.OID); ok {
+			s.mu.Unlock()
+			return redirect
+		}
 		e := s.entryLocked(m.OID)
 		var resp wire.Message
 		if e.deleted {
@@ -509,6 +792,10 @@ func (s *Server) lookup(ctx context.Context, m wire.Message) wire.Message {
 
 func (s *Server) subscribe(m wire.Message, p *wire.Peer) wire.Message {
 	s.mu.Lock()
+	if redirect, ok := s.readRedirectLocked(m.OID); ok {
+		s.mu.Unlock()
+		return redirect
+	}
 	e := s.entryLocked(m.OID)
 	e.subs[p] = m.Node
 	var resp wire.Message
@@ -539,108 +826,6 @@ func (s *Server) unsubscribe(m wire.Message, p *wire.Peer) wire.Message {
 	return wire.Message{}
 }
 
-func (s *Server) delete(m wire.Message) wire.Message {
-	s.mu.Lock()
-	e := s.entryLocked(m.OID)
-	var resp wire.Message
-	resp.Locs = e.snapshotLocs()
-	e.deleted = true
-	e.inline = nil
-	e.prog = make(map[types.NodeID]types.Progress)
-	e.leasedTo = make(map[types.NodeID]types.NodeID)
-	e.deps = make(map[types.NodeID]types.NodeID)
-	e.wake()
-	notify := s.notifyLocked(m.OID, e)
-	s.mu.Unlock()
-	notify()
-	return resp
-}
-
-// markSpilled registers m.Node's location as disk-backed. Two callers:
-// a node that just demoted its in-memory copy to the spill tier
-// (downgrade from complete — the copy keeps serving pulls, only sender
-// ranking changes), and a restarted node re-offering the objects found in
-// its spill directory, with m.Size carrying the size learned from the
-// file. Marking an object the directory has tombstoned returns
-// ErrDeleted, which the caller uses to discard the stale spill file.
-func (s *Server) markSpilled(m wire.Message) wire.Message {
-	s.mu.Lock()
-	e := s.entryLocked(m.OID)
-	var resp wire.Message
-	if e.deleted {
-		resp.SetError(types.ErrDeleted)
-		s.mu.Unlock()
-		return resp
-	}
-	if len(e.prog) == 0 {
-		// First location after none — same re-creation accounting as
-		// putStarted (the restart-rediscovery path): receivers mid-retry
-		// must not resume partial bytes from a previous generation.
-		e.gen++
-	}
-	if e.size == types.SizeUnknown && m.Size >= 0 {
-		e.size = m.Size
-	}
-	e.prog[m.Node] = types.ProgressSpilled
-	e.wake()
-	notify := s.notifyLocked(m.OID, e)
-	s.mu.Unlock()
-	notify()
-	return resp
-}
-
-func (s *Server) removeLoc(m wire.Message) wire.Message {
-	s.mu.Lock()
-	e := s.entryLocked(m.OID)
-	delete(e.prog, m.Node)
-	e.wake()
-	notify := s.notifyLocked(m.OID, e)
-	s.mu.Unlock()
-	notify()
-	return wire.Message{}
-}
-
-// purgeNode drops every location and lease involving a failed node across
-// all objects in the shard.
-func (s *Server) purgeNode(m wire.Message) wire.Message {
-	node := m.Node
-	s.mu.Lock()
-	var notifies []func()
-	for oid, e := range s.entries {
-		touched := false
-		if _, ok := e.prog[node]; ok {
-			delete(e.prog, node)
-			touched = true
-		}
-		if _, ok := e.leasedTo[node]; ok {
-			delete(e.leasedTo, node)
-			touched = true
-		}
-		if up, ok := e.deps[node]; ok {
-			// The failed node was fetching from up; return up's lease.
-			if e.leasedTo[up] == node {
-				delete(e.leasedTo, up)
-			}
-			delete(e.deps, node)
-			touched = true
-		}
-		for recv, up := range e.deps {
-			if up == node {
-				delete(e.deps, recv)
-			}
-		}
-		if touched {
-			e.wake()
-			notifies = append(notifies, s.notifyLocked(oid, e))
-		}
-	}
-	s.mu.Unlock()
-	for _, fn := range notifies {
-		fn()
-	}
-	return wire.Message{}
-}
-
 // Stats reports shard-level counters, used by tests and the CLI.
 type Stats struct {
 	Objects int
@@ -658,4 +843,28 @@ func (s *Server) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// Primary reports whether this server currently acts as the primary for
+// the given shard (always true in standalone mode); used by tests and
+// tools.
+func (s *Server) Primary(shard int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.cfg.Groups) == 0 {
+		return true
+	}
+	r := s.reps[shard]
+	return r != nil && r.primary
+}
+
+// ShardSeq returns the replica's (epoch, applied sequence) for a shard;
+// used by tests.
+func (s *Server) ShardSeq(shard int) (epoch, seq int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r := s.reps[shard]; r != nil {
+		return r.epoch, r.seq
+	}
+	return 0, 0
 }

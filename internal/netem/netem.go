@@ -134,6 +134,14 @@ func (n *shapedNode) unregister(c net.Conn) {
 
 // Listen implements Fabric.
 func (e *Emulated) Listen(node string) (net.Listener, error) {
+	return e.ListenOn(node, "127.0.0.1:0")
+}
+
+// ListenOn opens a listener for node on a specific address. A restarted
+// node uses it to reclaim its previous identity: directory replica
+// topologies are static address lists, so a shard host that comes back
+// must come back at the same address.
+func (e *Emulated) ListenOn(node, addr string) (net.Listener, error) {
 	sn := e.node(node)
 	sn.mu.Lock()
 	if sn.killed {
@@ -141,7 +149,7 @@ func (e *Emulated) Listen(node string) (net.Listener, error) {
 		return nil, fmt.Errorf("netem: node %s is down: %w", node, types.ErrNodeDown)
 	}
 	sn.mu.Unlock()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}

@@ -20,7 +20,6 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"hoplite/internal/buffer"
 	"hoplite/internal/types"
@@ -202,18 +201,22 @@ func (s *Store) CreateAdmit(ctx context.Context, oid types.ObjectID, size int64,
 		ch := s.space
 		s.mu.Unlock()
 		s.finishEviction(victims)
+		// Purely event-driven: every transition that can open room — used
+		// shrinking, the last reader ref dropping, a buffer sealing, an
+		// object unpinning — fires the space signal.
 		select {
 		case <-ch:
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(50 * time.Millisecond):
-			// Poll: a reader ref dropping makes an object evictable
-			// without touching used, so no space signal fires.
 		}
 	}
 }
 
-// insertLocked registers buf for oid and accounts its size.
+// insertLocked registers buf for oid and accounts its size. The buffer's
+// evictability transitions that do not change the store's byte
+// accounting — the last reader pin dropping, and the seal that turns an
+// in-progress write into a complete (victim-eligible) copy — are hooked
+// to wake admission waiters, so CreateAdmit never has to poll.
 func (s *Store) insertLocked(oid types.ObjectID, buf *buffer.Buffer, pinned bool) *buffer.Buffer {
 	o := &object{buf: buf, pinned: pinned}
 	if pinned {
@@ -223,6 +226,13 @@ func (s *Store) insertLocked(oid types.ObjectID, buf *buffer.Buffer, pinned bool
 	}
 	s.objects[oid] = o
 	s.used += buf.Size()
+	buf.OnRelease(s.signalSpace)
+	if !buf.Complete() {
+		// Already-complete buffers (InsertSealed) would fire the OnDone
+		// callback synchronously under s.mu; they also free nothing, so
+		// no wakeup is owed for them.
+		buf.OnDone(func(error) { s.signalSpace() })
+	}
 	return buf
 }
 
@@ -353,6 +363,16 @@ func (s *Store) signalSpaceLocked() {
 	s.space = make(chan struct{})
 }
 
+// signalSpace is the hook form of signalSpaceLocked, fired by buffer
+// release/seal transitions that make an object newly evictable.
+func (s *Store) signalSpace() {
+	s.mu.Lock()
+	if !s.closed {
+		s.signalSpaceLocked()
+	}
+	s.mu.Unlock()
+}
+
 // touchLocked marks o recently used on whichever list holds it.
 func (s *Store) touchLocked(o *object) {
 	if o.elem == nil {
@@ -437,6 +457,8 @@ func (s *Store) Unpin(oid types.ObjectID) bool {
 		s.removeLocked(o)
 		o.pinned = false
 		o.elem = s.lru.PushFront(oid)
+		// Newly LRU-evictable: admission waiters may now fit.
+		s.signalSpaceLocked()
 	}
 	return true
 }

@@ -547,6 +547,68 @@ func TestCreateAdmitBackpressure(t *testing.T) {
 	}
 }
 
+// TestCreateAdmitWakesOnRefRelease: dropping the last reader ref makes an
+// object evictable without the store's byte accounting changing, so the
+// admission path needs an explicit event — there is no poll fallback any
+// more. A blocked CreateAdmit must ride through on exactly that event.
+func TestCreateAdmitWakesOnRefRelease(t *testing.T) {
+	s := NewTiered(Tier{Capacity: 1000, Admission: true})
+	sealedObj(t, s, oid(0), 1000, false) // unpinned: evictable once unreffed
+	ref, ok := s.Acquire(oid(0))
+	if !ok {
+		t.Fatal("acquire")
+	}
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, err := s.CreateAdmit(ctx, oid(1), 500, true)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("admit proceeded past a live reader ref: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	ref.Unref() // the release hook must wake the admission waiter
+	if err := <-done; err != nil {
+		t.Fatalf("admit after ref release: %v", err)
+	}
+	if s.Contains(oid(0)) {
+		t.Fatal("victim not evicted")
+	}
+}
+
+// TestCreateAdmitWakesOnSeal: sealing turns an in-progress write into a
+// complete, victim-eligible copy without touching used — the other
+// accounting-free evictability transition the admission path must observe.
+func TestCreateAdmitWakesOnSeal(t *testing.T) {
+	s := NewTiered(Tier{Capacity: 1000, Admission: true})
+	buf, err := s.Create(oid(0), 1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, err := s.CreateAdmit(ctx, oid(1), 500, true)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("admit proceeded past an in-progress write: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := buf.Append(make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	buf.Seal() // the completion hook must wake the admission waiter
+	if err := <-done; err != nil {
+		t.Fatalf("admit after seal: %v", err)
+	}
+}
+
 // TestAcquireRefBlocksDemotion: a live reader ref pins the buffer in
 // memory — demotion must skip it even when it is the coldest object, and
 // take it once released.

@@ -55,6 +55,12 @@ type Cluster struct {
 	closed  bool
 	kill    []context.CancelFunc // per-node task context cancel
 
+	// wake is a broadcast: closed and replaced (under mu) on every
+	// enqueue, waking every idle worker to re-check its queues. A lossy
+	// single-token channel is not enough here — a worker on node i can
+	// consume the token for a task pinned to node j and leave j's workers
+	// parked — and a poll fallback would add up to its period in
+	// scheduling latency.
 	wake chan struct{}
 	wg   sync.WaitGroup
 
@@ -77,7 +83,7 @@ func NewCluster(nodes []*core.Node, workersPerNode int) *Cluster {
 		running:    make(map[*task]int),
 		alive:      make([]bool, len(nodes)),
 		kill:       make([]context.CancelFunc, len(nodes)),
-		wake:       make(chan struct{}, 1),
+		wake:       make(chan struct{}),
 		GetTimeout: 2 * time.Second,
 	}
 	for i := range nodes {
@@ -107,10 +113,10 @@ func (c *Cluster) Node(i int) *core.Node { return c.nodes[i] }
 func (c *Cluster) Size() int { return len(c.nodes) }
 
 func (c *Cluster) signal() {
-	select {
-	case c.wake <- struct{}{}:
-	default:
-	}
+	c.mu.Lock()
+	close(c.wake)
+	c.wake = make(chan struct{})
+	c.mu.Unlock()
 }
 
 // Submit schedules a task and returns futures for its outputs. node pins
@@ -172,24 +178,27 @@ func (c *Cluster) worker(ctx context.Context, i int) {
 		if ctx.Err() != nil {
 			return
 		}
+		// Snapshot the broadcast channel before checking the queues: any
+		// enqueue after this point closes exactly the channel held here,
+		// so a wakeup cannot slip between an empty dequeue and the wait.
+		c.mu.Lock()
+		closed := c.closed || !c.alive[i]
+		ch := c.wake
+		c.mu.Unlock()
+		if closed {
+			return
+		}
 		t, more := c.dequeue(ctx, i)
 		if t == nil {
-			c.mu.Lock()
-			closed := c.closed || !c.alive[i]
-			c.mu.Unlock()
-			if closed {
-				return
-			}
 			select {
-			case <-c.wake:
+			case <-ch:
 			case <-ctx.Done():
 				return
-			case <-time.After(50 * time.Millisecond):
 			}
 			continue
 		}
 		if more {
-			c.signal() // hand the wakeup token to a sibling
+			c.signal() // more work remains: wake the siblings
 		}
 		c.run(ctx, i, t)
 	}

@@ -155,4 +155,8 @@ var (
 	ErrExists = errors.New("object already exists")
 	// ErrClosed reports use of a closed node, store or connection.
 	ErrClosed = errors.New("closed")
+	// ErrNotPrimary reports that a directory mutation reached a shard
+	// replica that is not the shard's current primary; the caller should
+	// retry against the next replica in succession order.
+	ErrNotPrimary = errors.New("not the shard primary")
 )

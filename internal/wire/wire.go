@@ -59,6 +59,11 @@ const (
 	// releases its directory claim instead of leasing a sender to a
 	// receiver that has already given up. Cancel frames get no response.
 	MethodCancel
+
+	// Directory shard replication (primary/backup fault tolerance).
+	MethodReplicate    // primary → backup: one sequenced shard op log entry
+	MethodDirHeartbeat // primary → backup lease heartbeat (also the boot-time state query)
+	MethodDirSnapshot  // primary → backup: full shard state push (resync)
 )
 
 // Flags for Message.Flags.
@@ -117,6 +122,8 @@ func (m *Message) ErrorOf() error {
 		return types.ErrExists
 	case types.ErrClosed.Error():
 		return types.ErrClosed
+	case types.ErrNotPrimary.Error():
+		return types.ErrNotPrimary
 	default:
 		return errors.New(m.Err)
 	}
@@ -149,6 +156,7 @@ type Client struct {
 
 	notify func(Message)
 	orphan func(req, resp Message)
+	down   func()
 }
 
 // NewClient wraps an established connection. notify, if non-nil, receives
@@ -173,6 +181,22 @@ func NewClient(conn net.Conn, notify func(Message)) *Client {
 func (c *Client) OnOrphan(fn func(req, resp Message)) {
 	c.mu.Lock()
 	c.orphan = fn
+	c.mu.Unlock()
+}
+
+// OnDown registers fn to run once when the connection fails or is closed,
+// so the owner can react to the peer's death without waiting for its next
+// call to error (e.g. re-subscribing push notifications on a live
+// replica). fn runs on its own goroutine; if the client is already down,
+// it fires immediately. Set it before issuing calls.
+func (c *Client) OnDown(fn func()) {
+	c.mu.Lock()
+	if c.closed != nil {
+		c.mu.Unlock()
+		go fn()
+		return
+	}
+	c.down = fn
 	c.mu.Unlock()
 }
 
@@ -216,13 +240,18 @@ func (c *Client) readLoop() {
 
 func (c *Client) fail(err error) {
 	c.mu.Lock()
-	if c.closed == nil {
+	first := c.closed == nil
+	if first {
 		c.closed = err
 	}
 	pending := c.pending
 	c.pending = make(map[uint64]chan Message)
 	c.abandoned = make(map[uint64]Message) // their responses are never coming
+	down := c.down
 	c.mu.Unlock()
+	if first && down != nil {
+		go down()
+	}
 	for id, ch := range pending {
 		var m Message
 		m.ID = id
