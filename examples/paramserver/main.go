@@ -82,7 +82,7 @@ func run(useHoplite bool) (float64, error) {
 						results <- result{w, hoplite.ObjectID{}, err}
 						return
 					}
-					time.Sleep(computeT) // forward+backward pass
+					time.Sleep(computeT) //hoplite:sleep-ok simulated forward+backward pass, not polling
 					ref.Release()
 					// Stream the gradient out instead of materializing it.
 					g := hoplite.RandomObjectID()

@@ -149,6 +149,8 @@ func (r *Rank) ID() int { return r.id }
 // Send streams data to a peer rank in chunks. Collective algorithms use
 // each (conn, direction) from a single goroutine at a time by
 // construction; the per-peer write lock guards accidental overlap.
+//
+//hoplite:locked-io the per-peer write lock exists to serialize chunk writes on the shared conn
 func (r *Rank) Send(to int, data []byte) error {
 	r.wmu[to].Lock()
 	defer r.wmu[to].Unlock()

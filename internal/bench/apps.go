@@ -79,7 +79,7 @@ func runPS(sc Scale, cfg psConfig) (float64, error) {
 						results <- result{w, hoplite.ObjectID{}, err}
 						continue
 					}
-					time.Sleep(cfg.computeT)
+					time.Sleep(cfg.computeT) //hoplite:sleep-ok models the worker's compute pass, not polling
 					ref.Release()
 					oid := hoplite.RandomObjectID()
 					if err := node.Put(ctx, oid, update); err != nil {
@@ -184,7 +184,7 @@ func runPS(sc Scale, cfg psConfig) (float64, error) {
 			ps.Delete(ctx, oid)
 		}
 		applied += len(batchOIDs)
-		time.Sleep(cfg.updateT)
+		time.Sleep(cfg.updateT) //hoplite:sleep-ok models the server's update-apply time, not polling
 		mr := hoplite.RandomObjectID()
 		if err := ps.Put(ctx, mr, model); err != nil {
 			return 0, err

@@ -1,0 +1,150 @@
+// Package leakcheck fails a test binary that exits with goroutines it
+// started still running. Every package in this repo installs it via
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// so a test that forgets to Close a node, cancel a watcher, or drain a
+// worker fails loudly instead of letting the leak hide until it deadlocks
+// an unrelated -race run. The check is a snapshot diff: goroutines
+// present at TestMain start are grandfathered, the test-framework's own
+// goroutines are allowlisted, and anything else still alive after the
+// retry window (goroutines legitimately winding down get a grace period)
+// is reported with its full stack.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// maxWait is how long Main waits for straggler goroutines to exit before
+// declaring them leaked. Shutdown paths in this repo are prompt; five
+// seconds is far beyond any legitimate wind-down.
+const maxWait = 5 * time.Second
+
+// Main wraps m.Run with the leak check. It does not return.
+func Main(m *testing.M) {
+	before := snapshot()
+	code := m.Run()
+	if code == 0 {
+		if err := check(before, maxWait); err != nil {
+			fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// goroutine is one parsed entry of a full runtime.Stack dump.
+type goroutine struct {
+	id    int64
+	stack string // full block, including the header line
+}
+
+// snapshot captures the IDs of all currently live goroutines.
+func snapshot() map[int64]bool {
+	ids := make(map[int64]bool)
+	for _, g := range dump() {
+		ids[g.id] = true
+	}
+	return ids
+}
+
+// check reports an error if goroutines not in before (and not
+// allowlisted) are still running after retrying for at most window.
+//
+// to block on, the goroutines being awaited are the ones refusing to exit
+//
+//hoplite:sleep-ok the loop is the retry window itself: there is no event
+func check(before map[int64]bool, window time.Duration) error {
+	deadline := time.Now().Add(window)
+	delay := 10 * time.Millisecond
+	for {
+		leaked := leakedSince(before)
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d leaked goroutine(s) after %v:", len(leaked), window)
+			for _, g := range leaked {
+				b.WriteString("\n\n")
+				b.WriteString(g.stack)
+			}
+			return fmt.Errorf("%s", b.String())
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > 250*time.Millisecond {
+			delay = 250 * time.Millisecond
+		}
+	}
+}
+
+// leakedSince returns live goroutines that are neither grandfathered,
+// allowlisted, nor the caller itself, sorted by ID for stable output.
+func leakedSince(before map[int64]bool) []goroutine {
+	var leaked []goroutine
+	for _, g := range dump() {
+		if before[g.id] || allowlisted(g.stack) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	sort.Slice(leaked, func(i, j int) bool { return leaked[i].id < leaked[j].id })
+	return leaked
+}
+
+// allowlisted reports stacks belonging to infrastructure that legitimately
+// outlives individual tests.
+func allowlisted(stack string) bool {
+	for _, marker := range []string{
+		"created by testing.", // test framework workers (parallel tests, fuzz)
+		"testing.(*M).",       // the test main goroutine itself
+		"testing.tRunner",     // a test body (the caller, when check runs inside one)
+		"os/signal.",          // signal delivery goroutine
+		"runtime.ReadTrace",   // execution tracer
+		"runtime/pprof.",      // profiler writers
+		"leakcheck.check",     // this checker, when called from a test goroutine
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// dump parses runtime.Stack(all=true) into one entry per goroutine.
+func dump() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var gs []goroutine
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		header, _, ok := strings.Cut(block, "\n")
+		if !ok || !strings.HasPrefix(header, "goroutine ") {
+			continue
+		}
+		idStr, _, ok := strings.Cut(strings.TrimPrefix(header, "goroutine "), " ")
+		if !ok {
+			continue
+		}
+		id, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		gs = append(gs, goroutine{id: id, stack: block})
+	}
+	return gs
+}

@@ -1,0 +1,51 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) { Main(m) }
+
+// TestDetectsLeak proves the check fails loudly: a goroutine deliberately
+// parked on a channel must be reported with its stack.
+func TestDetectsLeak(t *testing.T) {
+	before := snapshot()
+	ch := make(chan struct{})
+	go func() { <-ch }()
+	err := check(before, 200*time.Millisecond)
+	if err == nil {
+		t.Fatal("check found no leak, want the parked goroutine reported")
+	}
+	if !strings.Contains(err.Error(), "leaked goroutine") || !strings.Contains(err.Error(), "TestDetectsLeak") {
+		t.Fatalf("leak report missing the culprit stack:\n%v", err)
+	}
+	// Unpark it so the package's own TestMain-level check stays clean.
+	close(ch)
+}
+
+// TestCleanRun proves a goroutine that exits within the window passes.
+func TestCleanRun(t *testing.T) {
+	before := snapshot()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(done)
+	}()
+	if err := check(before, 2*time.Second); err != nil {
+		t.Fatalf("clean shutdown reported as a leak: %v", err)
+	}
+	<-done
+}
+
+// TestGrandfathered proves pre-existing goroutines are not reported.
+func TestGrandfathered(t *testing.T) {
+	ch := make(chan struct{})
+	go func() { <-ch }()
+	defer close(ch)
+	before := snapshot() // taken after the goroutine started
+	if err := check(before, 100*time.Millisecond); err != nil {
+		t.Fatalf("grandfathered goroutine reported as a leak: %v", err)
+	}
+}

@@ -376,6 +376,8 @@ func (c *shapedConn) Close() error {
 // timer quantum can exceed 1 ms in virtualized environments, which would
 // inflate injected latencies by an order of magnitude, so the tail of the
 // wait is spun cooperatively.
+//
+//hoplite:sleep-ok the loop is the timer itself: it models link delay, not polling for state
 func sleepUntil(at time.Time) {
 	for {
 		d := time.Until(at)

@@ -239,7 +239,7 @@ func (c *Cluster) Get(ctx context.Context, oid types.ObjectID) ([]byte, error) {
 
 // GetVia fetches an object through a specific node's store.
 func (c *Cluster) GetVia(ctx context.Context, node int, oid types.ObjectID) ([]byte, error) {
-	return getReconstruct(c, ctx, oid, func(gctx context.Context) ([]byte, error) {
+	return getReconstruct(ctx, c, oid, func(gctx context.Context) ([]byte, error) {
 		return c.nodes[node].Get(gctx, oid)
 	})
 }
@@ -248,7 +248,7 @@ func (c *Cluster) GetVia(ctx context.Context, node int, oid types.ObjectID) ([]b
 // pinned, zero-copy ObjectRef, reconstructing the producing task if the
 // object appears lost. The caller must Release the ref.
 func (c *Cluster) GetRefVia(ctx context.Context, node int, oid types.ObjectID) (*core.ObjectRef, error) {
-	return getReconstruct(c, ctx, oid, func(gctx context.Context) (*core.ObjectRef, error) {
+	return getReconstruct(ctx, c, oid, func(gctx context.Context) (*core.ObjectRef, error) {
 		return c.nodes[node].GetRef(gctx, oid)
 	})
 }
@@ -256,7 +256,7 @@ func (c *Cluster) GetRefVia(ctx context.Context, node int, oid types.ObjectID) (
 // getReconstruct is the lineage-reconstruction fetch loop shared by the
 // copying and zero-copy Get paths: a fetch that times out or observes a
 // deletion re-submits the producing task and tries again.
-func getReconstruct[T any](c *Cluster, ctx context.Context, oid types.ObjectID, fetch func(context.Context) (T, error)) (T, error) {
+func getReconstruct[T any](ctx context.Context, c *Cluster, oid types.ObjectID, fetch func(context.Context) (T, error)) (T, error) {
 	var zero T
 	for {
 		gctx, cancel := context.WithTimeout(ctx, c.GetTimeout)

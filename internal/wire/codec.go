@@ -303,6 +303,7 @@ func writeMessage(w io.Writer, m *Message) error {
 		// (and park in the pool) a huge scratch buffer.
 		return ErrFrameTooLarge
 	}
+	//hoplite:pool-transfer buf aliases scratch (same backing array unless AppendMessage grew it); exactly one of the two is returned to the pool on every path
 	scratch := pool.Get(4 + body)
 	buf, err := AppendMessage(scratch[:0], m)
 	if err != nil {

@@ -43,6 +43,30 @@ func sampleMessages() []Message {
 		},
 		{Method: MethodAcquire, OID: oid, Wait: true},
 		{Flags: FlagNotify, Method: MethodNotify, Locs: []types.Location{{Node: "x:1"}}},
+		// One seed per remaining method (wiremethod enforces full corpus
+		// coverage), each with the field subset that method actually uses.
+		{Method: MethodPutStarted, ID: 2, OID: oid, Node: "n1:1", Size: 4096},
+		{Method: MethodPutComplete, ID: 3, OID: oid, Node: "n1:1", Gen: 2},
+		{Method: MethodPutInline, ID: 4, OID: oid, Node: "n1:1", Payload: []byte("inline")},
+		{Method: MethodAcquireMany, ID: 5, OID: oid, Sender: "n2:1", Num: 4},
+		{Method: MethodRelease, ID: 6, OID: oid, Node: "n2:1", Sender: "n1:1", Offset: 512, Complete: true},
+		{Method: MethodAbort, ID: 7, OID: oid, Node: "n2:1", Sender: "n1:1", Err: "conn reset"},
+		{Method: MethodAbortDown, ID: 8, OID: oid, Node: "n2:1", Sender: "n1:1"},
+		{Method: MethodSubscribe, ID: 9, OID: oid, Node: "n3:1"},
+		{Method: MethodUnsubscribe, ID: 10, OID: oid, Node: "n3:1"},
+		{Method: MethodDelete, ID: 11, OID: oid},
+		{Method: MethodPurgeNode, ID: 12, Node: "dead:1"},
+		{Method: MethodRemoveLoc, ID: 13, OID: oid, Node: "n1:1"},
+		{Method: MethodMarkSpilled, ID: 14, OID: oid, Node: "n1:1", Size: 1 << 20},
+		{Method: MethodReduceStart, ID: 15, OID: oid, Target: types.ObjectIDFromString("out"),
+			Sources: []types.ObjectID{oid}, Num: 1, Num2: 2, Gen: 3,
+			Op: types.ReduceOp{Kind: types.Sum, DType: types.F64}},
+		{Method: MethodReduceCancel, ID: 16, Target: types.ObjectIDFromString("out"), Gen: 3},
+		{Method: MethodEvictLocal, ID: 17, OID: oid},
+		{Method: MethodCancel, Num: 18},
+		{Method: MethodReplicate, ID: 19, OID: oid, Node: "n1:1", Num: 7, Gen: 1},
+		{Method: MethodDirHeartbeat, ID: 20, Num: 8},
+		{Method: MethodDirSnapshot, ID: 21, Payload: []byte{1, 2, 3}, Num: 9},
 	}
 }
 

@@ -284,7 +284,7 @@ func (c *Client) Call(ctx context.Context, m Message) (Message, error) {
 	c.wmu.Lock()
 	err := writeMessage(c.bw, &m)
 	if err == nil {
-		err = c.bw.Flush()
+		err = c.bw.Flush() //hoplite:locked-io wmu exists to serialize frame writes on the shared conn
 	}
 	c.wmu.Unlock()
 	if err != nil {
@@ -332,7 +332,7 @@ func (c *Client) sendCancel(id uint64) {
 	m := Message{Method: MethodCancel, Num: int64(id)}
 	c.wmu.Lock()
 	if err := writeMessage(c.bw, &m); err == nil {
-		_ = c.bw.Flush()
+		_ = c.bw.Flush() //hoplite:locked-io wmu exists to serialize frame writes on the shared conn
 	}
 	c.wmu.Unlock()
 }
@@ -349,6 +349,9 @@ type Peer struct {
 	onClose []func()
 }
 
+// send writes one frame to the client.
+//
+//hoplite:locked-io the whole function is the write-serialization critical section; wmu exists to keep concurrent handler pushes from interleaving frames
 func (p *Peer) send(m *Message) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()

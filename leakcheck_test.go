@@ -1,0 +1,12 @@
+package hoplite
+
+import (
+	"testing"
+
+	"hoplite/internal/leakcheck"
+)
+
+// TestMain routes the package (including the external hoplite_test files,
+// which share this test binary) through the goroutine-leak harness; see
+// docs/INVARIANTS.md.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,3 @@
+module hoplite/tools
+
+go 1.22

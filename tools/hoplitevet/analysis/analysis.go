@@ -1,0 +1,121 @@
+// Package analysis is a minimal, dependency-free stand-in for
+// golang.org/x/tools/go/analysis, carrying exactly what hoplitevet's
+// checkers need: an Analyzer with a Run function over a type-checked
+// package, positional diagnostics, and two drivers (a standalone
+// go-list-based loader in load.go and the `go vet -vettool` unitchecker
+// protocol in unit.go). The container this repo builds in has no module
+// proxy access, so vendoring x/tools is not an option; the subset here is
+// API-compatible enough that migrating to the real framework later is a
+// mechanical import swap.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File // parsed with comments
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Dir is the package's directory on disk (for checks that consult
+	// sibling files, e.g. wiremethod's fuzz-seed coverage).
+	Dir string
+	// ModuleDir is the root directory of the module under analysis, or ""
+	// when unknown (unitchecker mode analyzes one compilation unit and has
+	// no module view).
+	ModuleDir string
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Position resolves pos against the pass's file set.
+func (p *Pass) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// A Finding pairs a diagnostic with the analyzer that produced it and its
+// resolved position, ready for printing.
+type Finding struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Posn, f.Analyzer, f.Message)
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		if a.Posn.Column != b.Posn.Column {
+			return a.Posn.Column < b.Posn.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// RunPackage applies every analyzer to one loaded package and returns
+// the findings sorted by position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	return runAnalyzers(pkg, analyzers)
+}
+
+// runAnalyzers applies every analyzer to one loaded package and returns
+// the findings.
+func runAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Dir:       pkg.Dir,
+			ModuleDir: pkg.ModuleDir,
+		}
+		pass.report = func(d Diagnostic) {
+			out = append(out, Finding{Analyzer: a.Name, Posn: pass.Position(d.Pos), Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}

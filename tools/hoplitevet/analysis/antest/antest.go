@@ -1,0 +1,128 @@
+// Package antest is a minimal analysistest: it runs one analyzer over a
+// fixture package stored GOPATH-style under testdata/src/<importpath> and
+// checks its diagnostics against `// want "regexp"` comments in the
+// fixture source. Fixture imports resolve inside the testdata tree first
+// (so fixtures can stub hoplite/internal/... packages under their real
+// import paths), then fall back to the standard library.
+package antest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hoplite/tools/hoplitevet/analysis"
+)
+
+// expectation is one `// want` clause: a set of regexps that must each
+// match a distinct diagnostic reported on that line.
+type expectation struct {
+	patterns []*regexp.Regexp
+	matched  []bool
+}
+
+// Run loads testdata/src/<pkgPath> (relative to the caller's testdata
+// directory), applies the analyzer, and reports any mismatch between its
+// diagnostics and the fixture's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	loader := &analysis.Loader{
+		Dir: testdata,
+		Extra: func(path string) (string, bool) {
+			dir := filepath.Join(src, filepath.FromSlash(path))
+			if st, err := os.Stat(dir); err == nil && st.IsDir() {
+				return dir, true
+			}
+			return "", false
+		},
+	}
+	pkg, err := loader.LoadDir(filepath.Join(src, filepath.FromSlash(pkgPath)), pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		key := posKey(f.Posn)
+		w := wants[key]
+		if w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", key, f.Message)
+			continue
+		}
+		ok := false
+		for i, re := range w.patterns {
+			if !w.matched[i] && re.MatchString(f.Message) {
+				w.matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: diagnostic %q matched no want pattern", key, f.Message)
+		}
+	}
+	for key, w := range wants {
+		for i, m := range w.matched {
+			if !m {
+				t.Errorf("%s: no diagnostic matching %q", key, w.patterns[i].String())
+			}
+		}
+	}
+}
+
+func posKey(p token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// collectWants parses every `// want "re" ["re" ...]` comment in the
+// fixture, keyed by file:line of the comment.
+func collectWants(pkg *analysis.Package) (map[string]*expectation, error) {
+	wants := make(map[string]*expectation)
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				exp := &expectation{}
+				for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s: malformed want comment %q", posKey(posn), c.Text)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: %v", posKey(posn), err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp: %v", posKey(posn), err)
+					}
+					exp.patterns = append(exp.patterns, re)
+					exp.matched = append(exp.matched, false)
+					rest = rest[len(q):]
+				}
+				if len(exp.patterns) == 0 {
+					return nil, fmt.Errorf("%s: empty want comment", posKey(posn))
+				}
+				wants[posKey(posn)] = exp
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one fully loaded (parsed and type-checked, with bodies and
+// comments) package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	ModuleDir string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listMeta is the subset of `go list -json` output the loader consumes.
+type listMeta struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct {
+		Path string
+		Dir  string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// Loader type-checks packages from source. Dependencies are checked with
+// function bodies ignored (signatures are all analyzers need), so loading
+// the whole repo plus its stdlib closure stays fast and works without
+// compiled export data, a module proxy, or x/tools.
+type Loader struct {
+	// Dir is the working directory for `go list` (the module being
+	// analyzed, or any directory for stdlib-only resolution).
+	Dir string
+	// Extra, if set, resolves an import path to a directory of Go files
+	// outside the `go list` view. The fixture runner uses it to map
+	// import paths onto a GOPATH-style testdata/src tree.
+	Extra func(path string) (dir string, ok bool)
+
+	Fset *token.FileSet
+
+	meta map[string]*listMeta
+	deps map[string]*types.Package
+}
+
+func (l *Loader) init() {
+	if l.Fset == nil {
+		l.Fset = token.NewFileSet()
+	}
+	if l.meta == nil {
+		l.meta = make(map[string]*listMeta)
+	}
+	if l.deps == nil {
+		l.deps = make(map[string]*types.Package)
+	}
+}
+
+// goList runs `go list -deps -json` on args and merges the results into
+// the loader's metadata map. CGO is disabled so every package's GoFiles
+// list is complete for pure-Go type-checking.
+func (l *Loader) goList(args ...string) error {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-deps", "-json"}, args...)...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			stderr.Write(ee.Stderr)
+		}
+		return fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		m := new(listMeta)
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if prev, ok := l.meta[m.ImportPath]; !ok || prev.DepOnly && !m.DepOnly {
+			l.meta[m.ImportPath] = m
+		}
+	}
+	return nil
+}
+
+// Load lists patterns in the loader's Dir and returns the matched
+// (non-dependency) packages fully loaded for analysis.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.init()
+	if err := l.goList(patterns...); err != nil {
+		return nil, err
+	}
+	var targets []*listMeta
+	for _, m := range l.meta {
+		if !m.DepOnly && !m.Standard {
+			targets = append(targets, m)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	var out []*Package
+	for _, m := range targets {
+		if m.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", m.ImportPath, m.Error.Err)
+		}
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.loadFull(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir loads a single package rooted at dir under the given import
+// path, resolving its imports through Extra and then `go list`. It is the
+// entry point used by the fixture runner.
+func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
+	l.init()
+	files, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &listMeta{ImportPath: pkgPath, Dir: dir, GoFiles: files}
+	// A fixture package is its own module for checks that scan module-wide
+	// (wiremethod's reference counting).
+	m.Module = &struct {
+		Path string
+		Dir  string
+	}{Path: pkgPath, Dir: dir}
+	return l.loadFull(m)
+}
+
+func goFilesIn(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, name)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// loadFull parses m's files with comments and type-checks them with full
+// function bodies and populated type info.
+func (l *Loader) loadFull(m *listMeta) (*Package, error) {
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(m.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) { return l.importDep(m, path) }),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(m.ImportPath, l.Fset, files, info)
+	if len(errs) > 0 {
+		var b strings.Builder
+		for i, err := range errs {
+			if i == 8 {
+				fmt.Fprintf(&b, "\n\t... and %d more", len(errs)-i)
+				break
+			}
+			fmt.Fprintf(&b, "\n\t%v", err)
+		}
+		return nil, fmt.Errorf("type-checking %s:%s", m.ImportPath, b.String())
+	}
+	moduleDir := ""
+	if m.Module != nil {
+		moduleDir = m.Module.Dir
+	}
+	return &Package{
+		PkgPath:   m.ImportPath,
+		Dir:       m.Dir,
+		ModuleDir: moduleDir,
+		Fset:      l.Fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// importDep returns the (bodies-ignored) type-checked package for an
+// import appearing in the package described by from.
+func (l *Loader) importDep(from *listMeta, path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if from != nil && from.ImportMap != nil {
+		if mapped, ok := from.ImportMap[path]; ok {
+			path = mapped
+		}
+	}
+	if pkg, ok := l.deps[path]; ok {
+		return pkg, nil
+	}
+	m, err := l.resolveMeta(path)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(m.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		IgnoreFuncBodies: true,
+		// Dependency sources may use constructs go/types cannot fully
+		// check without the build system (runtime intrinsics and the
+		// like); signatures still come out right, so soft errors in deps
+		// are tolerated.
+		Error:    func(error) {},
+		Importer: importerFunc(func(p string) (*types.Package, error) { return l.importDep(m, p) }),
+	}
+	pkg, err := conf.Check(path, l.Fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("importing %s: %v", path, err)
+	}
+	pkg.MarkComplete()
+	l.deps[path] = pkg
+	return pkg, nil
+}
+
+// resolveMeta finds file metadata for an import path: the Extra hook
+// first (fixture trees), then anything already listed, then a lazy
+// `go list` for stdlib or module paths not yet seen.
+func (l *Loader) resolveMeta(path string) (*listMeta, error) {
+	if l.Extra != nil {
+		if dir, ok := l.Extra(path); ok {
+			files, err := goFilesIn(dir)
+			if err != nil {
+				return nil, fmt.Errorf("importing %s: %v", path, err)
+			}
+			return &listMeta{ImportPath: path, Dir: dir, GoFiles: files}, nil
+		}
+	}
+	if m, ok := l.meta[path]; ok && m.Error == nil {
+		return m, nil
+	}
+	if err := l.goList(path); err != nil {
+		return nil, fmt.Errorf("importing %s: %v", path, err)
+	}
+	m, ok := l.meta[path]
+	if !ok || m.Error != nil {
+		return nil, fmt.Errorf("importing %s: not found", path)
+	}
+	return m, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Run loads patterns from dir and applies every analyzer, returning all
+// findings sorted by position.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	l := &Loader{Dir: dir}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		fs, err := runAnalyzers(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	sortFindings(out)
+	return out, nil
+}

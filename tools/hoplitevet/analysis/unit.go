@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the command-line protocol required by
+// `go vet -vettool=...`: the build system probes the tool with -V=full
+// (version string for build caching) and -flags (supported flags as
+// JSON), then invokes it once per compilation unit with the path to a
+// JSON .cfg file describing the unit. Type information for imports comes
+// from the compiler's export data (cfg.PackageFile), not from source, so
+// a vettool run shares the build cache with the ordinary build.
+
+// unitConfig mirrors the JSON config written by the go command (see
+// x/tools/go/analysis/unitchecker.Config; field names are the contract).
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements -V=full: the exact format the go command
+// expects from a build tool (name, "version", and a content hash it can
+// fold into its cache key).
+func PrintVersion() error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", exe, string(h.Sum(nil)))
+	return nil
+}
+
+// PrintFlags implements -flags: a JSON description of tool flags the go
+// command may forward. hoplitevet keeps none, so the set is empty.
+func PrintFlags() {
+	fmt.Println("[]")
+}
+
+// RunUnit analyzes the single compilation unit described by the .cfg
+// file at cfgPath and returns its findings. Test files are type-checked
+// (the package would not compile without them) but not analyzed: the
+// concurrency invariants target production code, and test goroutine
+// hygiene is enforced dynamically by internal/leakcheck instead.
+func RunUnit(cfgPath string, analyzers []*Analyzer) ([]Finding, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", cfgPath, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+
+	// The go command expects the facts output file to exist for caching
+	// even though hoplitevet's analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	var nonTest []*ast.File
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.FileStart).Filename, "_test.go") {
+			nonTest = append(nonTest, f)
+		}
+	}
+	pkgDir := filepath.Dir(fset.Position(files[0].FileStart).Filename)
+	pkg := &Package{
+		PkgPath:   cfg.ImportPath,
+		Dir:       pkgDir,
+		ModuleDir: findModuleDir(pkgDir),
+		Fset:      fset,
+		Syntax:    nonTest,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	return runAnalyzers(pkg, analyzers)
+}
+
+// findModuleDir walks up from dir to the enclosing go.mod, returning ""
+// when there is none (e.g. a stdlib unit).
+func findModuleDir(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}

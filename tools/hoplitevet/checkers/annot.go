@@ -1,0 +1,77 @@
+// Package checkers implements the five hoplitevet analyzers that
+// mechanically enforce the repo's concurrency invariants: refpair,
+// lockhold, poolescape, sleeploop, and wiremethod. Deliberate exceptions
+// are suppressed with `//hoplite:<tag> <reason>` comments; the catalogue
+// of tags lives in docs/INVARIANTS.md.
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"hoplite/tools/hoplitevet/analysis"
+)
+
+// Suppression tags. Each analyzer honors exactly one tag so an exception
+// is scoped to the invariant it waives, never to the whole line.
+const (
+	tagRefTransfer  = "ref-transfer"  // refpair: ownership handed to a callee/struct
+	tagLockedIO     = "locked-io"     // lockhold: I/O under lock is deliberate
+	tagPoolTransfer = "pool-transfer" // poolescape: buffer returned via an alias/owner
+	tagSleepOK      = "sleep-ok"      // sleeploop: the sleep models time, not polling
+	tagCtxOrder     = "ctx-order"     // sleeploop: ctx deliberately not the first parameter
+	tagWireLocal    = "wire-local"    // wiremethod: method handled outside a dispatch switch
+)
+
+// suppressed reports whether a `//hoplite:tag` comment covers pos: on the
+// same line, on the line directly above, or in the doc comment of the
+// enclosing function declaration.
+func suppressed(pass *analysis.Pass, pos token.Pos, tag string) bool {
+	posn := pass.Position(pos)
+	want := "hoplite:" + tag
+	for _, file := range pass.Files {
+		fpos := pass.Position(file.FileStart)
+		if fpos.Filename != posn.Filename {
+			continue
+		}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, want) {
+					continue
+				}
+				if rest := text[len(want):]; rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // a longer tag, e.g. sleep-okish
+				}
+				cline := pass.Position(c.Pos()).Line
+				if cline == posn.Line || cline == posn.Line-1 {
+					return true
+				}
+			}
+		}
+		// Enclosing function doc.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || pos < fd.Pos() || pos > fd.End() {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text == want || strings.HasPrefix(text, want+" ") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether the file containing pos is a _test.go file.
+func isTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,31 @@
+package checkers
+
+import (
+	"testing"
+
+	"hoplite/tools/hoplitevet/analysis/antest"
+)
+
+func TestRefPair(t *testing.T) {
+	antest.Run(t, "testdata", RefPair, "refpairtest")
+}
+
+func TestPoolEscape(t *testing.T) {
+	antest.Run(t, "testdata", PoolEscape, "poolescapetest")
+}
+
+func TestLockHold(t *testing.T) {
+	antest.Run(t, "testdata", LockHold, "lockholdtest")
+}
+
+func TestSleepLoop(t *testing.T) {
+	antest.Run(t, "testdata", SleepLoop, "sleeplooptest")
+}
+
+func TestWireMethod(t *testing.T) {
+	antest.Run(t, "testdata", WireMethod, "hoplite/internal/wire")
+}
+
+func TestWireMethodWidth(t *testing.T) {
+	antest.Run(t, "testdata", WireMethod, "widebad/internal/wire")
+}

@@ -1,0 +1,721 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hoplite/tools/hoplitevet/analysis"
+)
+
+// This file implements the release-path walker shared by refpair and
+// poolescape: given a call that acquires a resource (a pinned ObjectRef,
+// a store reader ref, a pooled buffer), it walks the acquiring function's
+// structured control flow and reports any function exit reachable from
+// the acquisition without a release or an ownership transfer.
+//
+// The walker is deliberately lenient where precision would need
+// whole-program analysis: passing the resource to another function (when
+// the acquirer's rules say so), storing it in a struct/map/channel,
+// returning it, or capturing it in a closure all count as transfers, and
+// a path guarded by the acquisition's own failure result (`if !ok` /
+// `if err != nil`) carries no obligation. Functions using goto or labeled
+// branches are skipped entirely. The point is catching the recurring real
+// bug — an early `return err` between acquire and release — with zero
+// false alarms, not proving leak freedom.
+
+// An acquirer describes one resource-acquiring API and its release rules.
+type acquirer struct {
+	what string // human-readable resource name for diagnostics
+	tag  string // suppression tag
+	// match reports whether call acquires this resource and which result
+	// index carries it.
+	match func(pass *analysis.Pass, call *ast.CallExpr) (resultIdx int, ok bool)
+	// isRelease reports whether call releases a tracked value (tracked
+	// tests whether an expression is the tracked variable or an alias).
+	isRelease func(pass *analysis.Pass, call *ast.CallExpr, tracked func(ast.Expr) bool) bool
+	// argEscapes: passing the tracked value as a call argument transfers
+	// ownership (true for ref handles, false for pooled buffers).
+	argEscapes bool
+}
+
+// state is the walker's per-path condition.
+type state struct {
+	active bool // the acquisition has executed on this path
+	rel    bool // the obligation is settled (released or transferred)
+}
+
+// branchOut is the outcome of walking one alternative branch.
+type branchOut struct {
+	st   state
+	term bool
+}
+
+type pathWalker struct {
+	pass     *analysis.Pass
+	acq      *acquirer
+	acquire  *ast.AssignStmt // the acquiring assignment
+	vars     map[types.Object]bool
+	guard    types.Object // bool/error companion result, if any
+	guardErr bool         // guard is an error (err != nil means failure)
+	suppress int          // >0 while inside a failure-guarded branch
+	bailed   bool
+	// deferCovers: a deferred closure releases the tracked *variable*
+	// (re-read at function exit), so even re-acquisitions into the same
+	// variable are released.
+	deferCovers bool
+	leak        token.Pos // first leaking exit
+}
+
+func (w *pathWalker) tracked(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := w.pass.TypesInfo.Uses[id]
+	return obj != nil && w.vars[obj]
+}
+
+// trackedOrSlice additionally accepts a slice of the tracked variable
+// (v[a:b] aliases v's backing array).
+func (w *pathWalker) trackedOrSlice(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if s, ok := e.(*ast.SliceExpr); ok {
+		return w.tracked(s.X)
+	}
+	return w.tracked(e)
+}
+
+func (w *pathWalker) reportLeak(pos token.Pos) {
+	if w.suppress == 0 && w.leak == token.NoPos {
+		w.leak = pos
+	}
+}
+
+// walkList walks a statement list, threading path state; term reports
+// that every path through the list left the function (or broke out of
+// the enclosing construct).
+func (w *pathWalker) walkList(list []ast.Stmt, st state) (state, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = w.walkStmt(s, st)
+		if term || w.bailed {
+			return st, term
+		}
+	}
+	return st, false
+}
+
+func (w *pathWalker) walkStmt(s ast.Stmt, st state) (state, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s == w.acquire {
+			st.active, st.rel = true, w.deferCovers
+			return st, false
+		}
+		w.scanAssign(s, &st)
+		return st, false
+
+	case *ast.ExprStmt:
+		w.scanNode(s.X, &st)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && w.isTerminal(call) {
+			return st, true
+		}
+		return st, false
+
+	case *ast.DeferStmt:
+		// `defer func() { pool.Put(chunk) }()` re-reads chunk at return,
+		// covering re-acquisitions into the same variable — unlike
+		// `defer pool.Put(chunk)`, whose argument is pinned at defer time.
+		if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok && w.containsRelease(fl.Body) {
+			w.deferCovers = true
+			if st.active {
+				st.rel = true
+			}
+			return st, false
+		}
+		// A deferred release covers every exit reached after this point.
+		if !w.releasesIn(s.Call, &st) {
+			w.scanNode(s.Call, &st)
+		}
+		return st, false
+
+	case *ast.GoStmt:
+		w.scanNode(s.Call, &st)
+		return st, false
+
+	case *ast.SendStmt:
+		if st.active && !st.rel && w.trackedOrSlice(s.Value) {
+			st.rel = true // ownership crossed a channel
+		}
+		w.scanNode(s.Chan, &st)
+		w.scanNode(s.Value, &st)
+		return st, false
+
+	case *ast.DeclStmt:
+		w.scanNode(s, &st)
+		return st, false
+
+	case *ast.IncDecStmt, *ast.EmptyStmt:
+		return st, false
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if st.active && !st.rel && w.trackedOrSlice(r) {
+				st.rel = true // transferred to the caller
+			}
+			w.scanNode(r, &st)
+		}
+		if st.active && !st.rel {
+			w.reportLeak(s.Pos())
+		}
+		return st, true
+
+	case *ast.BlockStmt:
+		return w.walkList(s.List, st)
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+
+	case *ast.BranchStmt:
+		if s.Label != nil || s.Tok == token.GOTO {
+			w.bailed = true
+		}
+		// break/continue leave the list without leaving the function;
+		// the enclosing loop's optimistic merge absorbs them.
+		return st, true
+
+	case *ast.IfStmt:
+		return w.walkIf(s, st)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		w.scanNode(s.Cond, &st)
+		return w.walkLoopBody(s.Body, st)
+
+	case *ast.RangeStmt:
+		w.scanNode(s.X, &st)
+		return w.walkLoopBody(s.Body, st)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		w.scanNode(s.Tag, &st)
+		return w.walkClauses(s.Body, st, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		w.scanNode(s.Assign, &st)
+		return w.walkClauses(s.Body, st, true)
+
+	case *ast.SelectStmt:
+		return w.walkClauses(s.Body, st, false)
+
+	default:
+		w.scanNode(s, &st)
+		return st, false
+	}
+}
+
+// walkLoopBody handles for/range bodies. An acquisition before the loop
+// merges optimistically (a release on the body's fall-through path is
+// assumed to run); an acquisition inside the body must settle by the end
+// of the iteration, since the next iteration re-acquires.
+func (w *pathWalker) walkLoopBody(body *ast.BlockStmt, st state) (state, bool) {
+	bodySt, _ := w.walkList(body.List, st)
+	if !st.active && bodySt.active {
+		if !bodySt.rel {
+			w.reportLeak(body.End())
+		}
+		return st, false // obligation scoped to the iteration
+	}
+	st.rel = st.rel || bodySt.rel
+	return st, false
+}
+
+// walkClauses merges the case/comm clauses of a switch or select. For a
+// switch without a default clause the implicit no-case-matched path is
+// added as a live branch.
+func (w *pathWalker) walkClauses(body *ast.BlockStmt, st state, isSwitch bool) (state, bool) {
+	var outs []branchOut
+	hasDefault := false
+	for _, cl := range body.List {
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				w.scanNode(e, &st)
+			}
+			cst, cterm := w.walkList(cl.Body, st)
+			outs = append(outs, branchOut{cst, cterm})
+		case *ast.CommClause:
+			cst := st
+			if cl.Comm != nil {
+				cst, _ = w.walkStmt(cl.Comm, cst)
+			}
+			cst, cterm := w.walkList(cl.Body, cst)
+			outs = append(outs, branchOut{cst, cterm})
+		}
+	}
+	if isSwitch && !hasDefault {
+		outs = append(outs, branchOut{st, false})
+	}
+	if len(outs) == 0 {
+		return st, false
+	}
+	return mergeBranches(st, outs)
+}
+
+// mergeBranches joins the exits of alternative branches: the merged
+// obligation is unsettled if any live (non-terminated, post-acquisition)
+// branch leaves it unsettled.
+func mergeBranches(in state, outs []branchOut) (state, bool) {
+	live, anyActive := 0, false
+	relAll := true
+	for _, o := range outs {
+		if o.term {
+			continue
+		}
+		live++
+		if o.st.active {
+			anyActive = true
+			if !o.st.rel {
+				relAll = false
+			}
+		}
+	}
+	if live == 0 {
+		return in, true
+	}
+	merged := state{active: anyActive || in.active, rel: in.rel}
+	if anyActive {
+		merged.rel = relAll
+	}
+	return merged, false
+}
+
+// walkIf handles if statements, including the acquisition-in-init idiom
+// `if v, ok := acquire(); ok { ... }` and failure-guard exemptions.
+func (w *pathWalker) walkIf(s *ast.IfStmt, st state) (state, bool) {
+	acquiredHere := false
+	if s.Init != nil {
+		if s.Init == ast.Stmt(w.acquire) {
+			st.active, st.rel = true, w.deferCovers
+			acquiredHere = true
+		} else {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+	}
+	w.scanNode(s.Cond, &st)
+
+	// failure: which branch runs when the acquisition failed (and thus
+	// carries no obligation). 0 = neither, 1 = then, 2 = else.
+	failure := 0
+	if st.active && !st.rel && w.guard != nil {
+		failure = w.guardBranch(s.Cond)
+	}
+
+	walkBranch := func(stmt ast.Stmt, exempt bool) branchOut {
+		bst := st
+		if exempt {
+			w.suppress++
+		}
+		var term bool
+		if stmt != nil {
+			bst, term = w.walkStmt(stmt, bst)
+		}
+		if exempt {
+			w.suppress--
+			bst.rel = true // no obligation on the failure path
+		}
+		return branchOut{bst, term}
+	}
+
+	outs := []branchOut{walkBranch(s.Body, failure == 1)}
+	if s.Else != nil {
+		outs = append(outs, walkBranch(s.Else, failure == 2))
+	} else {
+		est := st
+		if failure == 2 {
+			est.rel = true
+		}
+		outs = append(outs, branchOut{est, false})
+	}
+
+	merged, term := mergeBranches(st, outs)
+	if acquiredHere {
+		// The variable's scope ends with the if statement: the
+		// obligation must have settled inside it.
+		if !term && merged.active && !merged.rel {
+			w.reportLeak(s.End())
+		}
+		merged.active, merged.rel = false, false
+	}
+	return merged, term
+}
+
+// guardBranch classifies an if condition over the acquisition's
+// companion result: returns 1 if the then-branch is the failure path,
+// 2 if the else-branch is, 0 if the condition is something else.
+func (w *pathWalker) guardBranch(cond ast.Expr) int {
+	cond = ast.Unparen(cond)
+	isGuard := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && w.pass.TypesInfo.Uses[id] == w.guard
+	}
+	if w.guardErr {
+		if be, ok := cond.(*ast.BinaryExpr); ok && isGuard(be.X) && isNilIdent(be.Y) {
+			switch be.Op {
+			case token.NEQ:
+				return 1 // if err != nil { failure }
+			case token.EQL:
+				return 2 // if err == nil { success } else { failure }
+			}
+		}
+		return 0
+	}
+	if ue, ok := cond.(*ast.UnaryExpr); ok && ue.Op == token.NOT && isGuard(ue.X) {
+		return 1 // if !ok { failure }
+	}
+	if isGuard(cond) {
+		return 2 // if ok { success } else { failure }
+	}
+	return 0
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// scanAssign processes a (non-acquiring) assignment: alias propagation
+// and escape detection on the left-hand sides, then a generic scan.
+func (w *pathWalker) scanAssign(s *ast.AssignStmt, st *state) {
+	if st.active && !st.rel && len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			if !w.trackedOrSlice(s.Rhs[i]) {
+				continue
+			}
+			if id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident); ok {
+				if id.Name == "_" {
+					continue
+				}
+				if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+					w.vars[obj] = true
+				} else if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+					if obj.Parent() != nil && obj.Parent().Parent() == types.Universe {
+						// A package-level variable outlives the function:
+						// the value is parked with a longer-lived owner.
+						st.rel = true
+					} else {
+						w.vars[obj] = true
+					}
+				}
+			} else {
+				// Stored through a selector/index/deref: retained beyond
+				// the function — ownership transferred.
+				st.rel = true
+			}
+		}
+	}
+	for _, r := range s.Rhs {
+		w.scanNode(r, st)
+	}
+	for _, l := range s.Lhs {
+		w.scanNode(l, st)
+	}
+}
+
+// containsRelease reports whether the node contains a release call of a
+// tracked value, independent of the current path state.
+func (w *pathWalker) containsRelease(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if c, ok := m.(*ast.CallExpr); ok && w.acq.isRelease(w.pass, c, w.trackedOrSlice) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// releasesIn reports (and records) whether the call expression releases
+// the tracked value, looking through an immediately-deferred closure.
+func (w *pathWalker) releasesIn(call *ast.CallExpr, st *state) bool {
+	if !st.active || st.rel {
+		return false
+	}
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && w.acq.isRelease(w.pass, c, w.trackedOrSlice) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if found {
+		st.rel = true
+	}
+	return found
+}
+
+// scanNode looks for release, transfer, and escape events anywhere in an
+// expression or declaration.
+func (w *pathWalker) scanNode(n ast.Node, st *state) {
+	if n == nil || !st.active || st.rel {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if st.rel {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if w.acq.isRelease(w.pass, n, w.trackedOrSlice) {
+				st.rel = true
+				return false
+			}
+			if w.acq.argEscapes {
+				for _, a := range n.Args {
+					if w.trackedOrSlice(a) {
+						st.rel = true // ownership handed to the callee
+						return false
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if w.trackedOrSlice(el) {
+					st.rel = true // retained in a composite value
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && w.tracked(n.X) {
+				st.rel = true
+				return false
+			}
+		case *ast.FuncLit:
+			// A closure referencing the value owns (or at least shares)
+			// it; releasing inside callbacks is a transfer.
+			captured := false
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := w.pass.TypesInfo.Uses[id]; obj != nil && w.vars[obj] {
+						captured = true
+						return false
+					}
+				}
+				return true
+			})
+			if captured {
+				st.rel = true
+			}
+			return false // closure-internal flow is not this path's
+		}
+		return true
+	})
+}
+
+// isTerminal reports calls that never return: panic, os.Exit, log.Fatal*,
+// runtime.Goexit, and testing Fatal/FailNow/Skip helpers.
+func (w *pathWalker) isTerminal(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			_, isBuiltin := w.pass.TypesInfo.Uses[fun].(*types.Builtin)
+			return isBuiltin
+		}
+	case *ast.SelectorExpr:
+		fn, ok := w.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return false
+		}
+		switch fn.FullName() {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+		switch fn.Name() {
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				if named := namedOf(recv.Type()); named != nil && named.Obj().Pkg() != nil &&
+					named.Obj().Pkg().Path() == "testing" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// checkAcquisitions finds every acquisition by acq in the function body
+// and checks that its resource cannot leak. Nested function literals are
+// analyzed as independent bodies.
+func checkAcquisitions(pass *analysis.Pass, body *ast.BlockStmt, acq *acquirer) {
+	if body == nil {
+		return
+	}
+	type site struct {
+		call *ast.CallExpr
+		path []ast.Node // ancestors within body, innermost last
+	}
+	var sites []site
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if fl, ok := n.(*ast.FuncLit); ok && len(stack) > 0 {
+			checkAcquisitions(pass, fl.Body, acq)
+			return false // separate root; f(nil) is not called after false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := acq.match(pass, call); ok {
+				sites = append(sites, site{call, append([]ast.Node(nil), stack...)})
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	for _, s := range sites {
+		checkOneAcquisition(pass, body, acq, s.call, s.path)
+	}
+}
+
+func checkOneAcquisition(pass *analysis.Pass, body *ast.BlockStmt, acq *acquirer, call *ast.CallExpr, path []ast.Node) {
+	if suppressed(pass, call.Pos(), acq.tag) {
+		return
+	}
+	// Find the enclosing assignment, if any.
+	var assign *ast.AssignStmt
+	for i := len(path) - 1; i >= 0; i-- {
+		if a, ok := path[i].(*ast.AssignStmt); ok {
+			assign = a
+			break
+		}
+		if _, ok := path[i].(ast.Stmt); ok {
+			break
+		}
+	}
+	if assign == nil {
+		// Result discarded in an expression statement: unconditional leak.
+		// Other shapes (argument of another call, direct return) transfer
+		// the value and are fine.
+		if es, ok := innermostStmt(path).(*ast.ExprStmt); ok && ast.Unparen(es.X) == call {
+			pass.Reportf(call.Pos(), "result of %s is discarded; the %s is never released", calleeName(call), acq.what)
+		}
+		return
+	}
+	// The call must be the sole RHS; anything fancier (nested in another
+	// expression, multi-value juggling) is skipped, not guessed at.
+	if len(assign.Rhs) != 1 || ast.Unparen(assign.Rhs[0]) != ast.Expr(call) {
+		return
+	}
+	idx, _ := acq.match(pass, call)
+	if idx >= len(assign.Lhs) {
+		return
+	}
+	resVar := lhsObject(pass, assign.Lhs[idx])
+	if resVar == nil {
+		return // blank or assigned through a selector: not trackable
+	}
+	var guardVar types.Object
+	guardErr := false
+	for i, l := range assign.Lhs {
+		if i == idx {
+			continue
+		}
+		if obj := lhsObject(pass, l); obj != nil {
+			switch {
+			case isBool(obj.Type()):
+				guardVar = obj
+			case isErrorType(obj.Type()):
+				guardVar, guardErr = obj, true
+			}
+		}
+	}
+	w := &pathWalker{
+		pass:     pass,
+		acq:      acq,
+		acquire:  assign,
+		vars:     map[types.Object]bool{resVar: true},
+		guard:    guardVar,
+		guardErr: guardErr,
+	}
+	st, term := w.walkList(body.List, state{})
+	if w.bailed {
+		return
+	}
+	if !term && st.active && !st.rel {
+		w.reportLeak(body.End())
+	}
+	if w.leak != token.NoPos {
+		pass.Reportf(call.Pos(), "%s acquired here is not released on every path (leaks at line %d); release it, transfer it, or annotate //hoplite:%s",
+			acq.what, pass.Position(w.leak).Line, acq.tag)
+	}
+}
+
+func innermostStmt(path []ast.Node) ast.Stmt {
+	for i := len(path) - 1; i >= 0; i-- {
+		if s, ok := path[i].(ast.Stmt); ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func lhsObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func isBool(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+func isErrorType(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "the call"
+}

@@ -1,0 +1,167 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hoplite/tools/hoplitevet/analysis"
+)
+
+// PoolEscape enforces the internal/pool contract: a buffer obtained from
+// pool.Get must reach pool.Put on every path (or be handed to an owner
+// that will return it), and must not be touched after it has been Put —
+// a recycled buffer may already belong to another goroutine.
+//
+// A buffer whose ownership moves through an alias the walker cannot see
+// (e.g. an append that may or may not reallocate) is annotated
+// `//hoplite:pool-transfer <reason>`.
+var PoolEscape = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc:  "check that pool.Get buffers are returned with pool.Put and not used afterwards",
+	Run:  runPoolEscape,
+}
+
+var poolAcquirer = &acquirer{
+	what: "pooled buffer",
+	tag:  tagPoolTransfer,
+	match: func(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
+		return 0, isPoolFunc(pass, call, "Get")
+	},
+	isRelease: func(pass *analysis.Pass, call *ast.CallExpr, tracked func(ast.Expr) bool) bool {
+		if !isPoolFunc(pass, call, "Put") || len(call.Args) != 1 {
+			return false
+		}
+		return tracked(call.Args[0])
+	},
+	// Unlike ref handles, passing a pooled buffer to a callee does not
+	// transfer the obligation to return it: callees operate on the bytes
+	// and the caller still owns the Put.
+	argEscapes: false,
+}
+
+func runPoolEscape(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass, file.FileStart) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkAcquisitions(pass, fd.Body, poolAcquirer)
+			checkUseAfterPut(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// isPoolFunc reports whether call invokes the package-level function
+// internal/pool.<name>.
+func isPoolFunc(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	var fn *types.Func
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pass.TypesInfo.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pass.TypesInfo.Uses[f.Sel].(*types.Func)
+	}
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return pkgSuffixMatch(fn.Pkg(), "internal/pool")
+}
+
+// checkUseAfterPut scans each statement list: once pool.Put(v) has run,
+// any later use of v in the same list (before a reassignment) touches a
+// buffer that may already be owned by another goroutine.
+func checkUseAfterPut(pass *analysis.Pass, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok || !isPoolFunc(pass, call, "Put") || len(call.Args) != 1 {
+				continue
+			}
+			arg := ast.Unparen(call.Args[0])
+			if s, ok := arg.(*ast.SliceExpr); ok {
+				arg = ast.Unparen(s.X)
+			}
+			id, ok := arg.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				continue
+			}
+			scanUsesAfter(pass, block.List[i+1:], obj)
+		}
+		return true
+	})
+}
+
+func scanUsesAfter(pass *analysis.Pass, stmts []ast.Stmt, obj types.Object) {
+	for _, stmt := range stmts {
+		// A reassignment gives the name a fresh buffer; stop tracking.
+		if as, ok := stmt.(*ast.AssignStmt); ok {
+			reassigned := false
+			for _, l := range as.Lhs {
+				if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+					if pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] != nil && pass.TypesInfo.Defs[id].Name() == obj.Name() {
+						reassigned = true
+					}
+				}
+			}
+			// The RHS still runs before the reassignment lands.
+			for _, r := range as.Rhs {
+				reportUses(pass, r, obj)
+			}
+			if reassigned {
+				return
+			}
+			continue
+		}
+		stopped := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if stopped {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				if !suppressed(pass, id.Pos(), tagPoolTransfer) {
+					pass.Reportf(id.Pos(), "use of %s after pool.Put: the buffer may already be reused by another goroutine", obj.Name())
+				}
+				stopped = true
+			}
+			return true
+		})
+		if stopped {
+			return // one report per Put is enough
+		}
+	}
+}
+
+func reportUses(pass *analysis.Pass, e ast.Expr, obj types.Object) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			if !suppressed(pass, id.Pos(), tagPoolTransfer) {
+				pass.Reportf(id.Pos(), "use of %s after pool.Put: the buffer may already be reused by another goroutine", obj.Name())
+			}
+			return false
+		}
+		return true
+	})
+}

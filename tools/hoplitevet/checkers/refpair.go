@@ -1,0 +1,136 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hoplite/tools/hoplitevet/analysis"
+)
+
+// RefPair enforces the repo's reference-counting contract: every pinned
+// handle acquired from the store or the object layer must be released (or
+// have its ownership transferred) on every control-flow path.
+//
+// Two acquisition families are tracked:
+//
+//   - (*store.Store).Acquire, which returns a pinned *buffer.Buffer that
+//     must reach Unref;
+//   - any call whose first result is a *core.ObjectRef (GetRef, Await on
+//     a ref future, ...), which must reach Release.
+//
+// Passing the handle to another function, returning it, storing it in a
+// struct/map/channel, or capturing it in a closure counts as a transfer.
+// A deliberate hand-off that the walker cannot see is annotated
+// `//hoplite:ref-transfer <reason>`.
+var RefPair = &analysis.Analyzer{
+	Name: "refpair",
+	Doc:  "check that store pins and object refs are released on every path",
+	Run:  runRefPair,
+}
+
+var refAcquirers = []*acquirer{
+	{
+		what: "store pin",
+		tag:  tagRefTransfer,
+		match: func(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
+			return 0, isMethodCall(pass, call, "Acquire", "internal/store")
+		},
+		isRelease:  releaseNamed("Unref", "Release"),
+		argEscapes: true,
+	},
+	{
+		what: "object ref",
+		tag:  tagRefTransfer,
+		match: func(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
+			return 0, firstResultIsCoreRef(pass, call)
+		},
+		isRelease:  releaseNamed("Release", "Unref"),
+		argEscapes: true,
+	},
+}
+
+func runRefPair(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass, file.FileStart) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				for _, acq := range refAcquirers {
+					checkAcquisitions(pass, fd.Body, acq)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isMethodCall reports whether call invokes a method with the given name
+// declared in a package whose import path ends with pkgSuffix.
+func isMethodCall(pass *analysis.Pass, call *ast.CallExpr, name, pkgSuffix string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return pkgSuffixMatch(fn.Pkg(), pkgSuffix)
+}
+
+// firstResultIsCoreRef reports whether call's first result has type
+// *core.ObjectRef. The rule is type-based rather than name-based so new
+// accessors (futures, async variants) are covered automatically.
+func firstResultIsCoreRef(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || !tv.IsValue() {
+		return false
+	}
+	t := tv.Type
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(0).Type()
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "ObjectRef" && pkgSuffixMatch(named.Obj().Pkg(), "internal/core")
+}
+
+// releaseNamed builds an isRelease predicate matching x.<name>() calls on
+// the tracked value.
+func releaseNamed(names ...string) func(*analysis.Pass, *ast.CallExpr, func(ast.Expr) bool) bool {
+	return func(pass *analysis.Pass, call *ast.CallExpr, tracked func(ast.Expr) bool) bool {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		for _, n := range names {
+			if sel.Sel.Name == n {
+				return tracked(sel.X)
+			}
+		}
+		return false
+	}
+}
+
+func pkgSuffixMatch(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == suffix || strings.HasSuffix(p, "/"+suffix)
+}

@@ -1,0 +1,14 @@
+// Package buffer is a fixture stand-in for the real ref-counted buffer.
+package buffer
+
+// Buffer is a pinned, ref-counted byte buffer.
+type Buffer struct{ n int }
+
+// Unref drops the caller's pin.
+func (b *Buffer) Unref() {}
+
+// Complete reports whether the buffer is sealed.
+func (b *Buffer) Complete() bool { return true }
+
+// Len returns the buffer length.
+func (b *Buffer) Len() int { return b.n }

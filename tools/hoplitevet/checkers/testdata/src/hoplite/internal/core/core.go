@@ -1,0 +1,19 @@
+// Package core is a fixture stand-in for the real object layer.
+package core
+
+import "context"
+
+// ObjectRef is a pinned, zero-copy view of an object.
+type ObjectRef struct{}
+
+// Release drops the pin.
+func (r *ObjectRef) Release() {}
+
+// Bytes returns the pinned view.
+func (r *ObjectRef) Bytes() []byte { return nil }
+
+// Node is one participant.
+type Node struct{}
+
+// GetRef pins the object; the caller must Release the ref.
+func (n *Node) GetRef(ctx context.Context, oid [8]byte) (*ObjectRef, error) { return nil, nil }

@@ -1,0 +1,10 @@
+// Package store is a fixture stand-in for the real object store.
+package store
+
+import "hoplite/internal/buffer"
+
+// Store owns pinned buffers.
+type Store struct{}
+
+// Acquire pins the object's buffer; the caller must Unref it.
+func (s *Store) Acquire(oid [8]byte) (*buffer.Buffer, bool) { return nil, false }

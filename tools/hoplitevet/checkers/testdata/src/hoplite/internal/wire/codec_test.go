@@ -1,0 +1,10 @@
+package wire
+
+// sampleMessages deliberately omits MethodLookup; wiremethod must notice.
+func sampleMessages() []Message {
+	return []Message{
+		{Method: MethodPing},
+		{Method: MethodDead},
+		{Method: MethodDup},
+	}
+}

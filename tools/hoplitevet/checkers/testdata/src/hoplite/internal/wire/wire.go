@@ -1,0 +1,33 @@
+// Package wire is a fixture stand-in for the real wire package: method
+// constants exercising wiremethod, plus a blocking write for lockhold.
+package wire
+
+// Method identifies an RPC method.
+type Method uint8
+
+// RPC methods.
+const (
+	MethodNone Method = iota
+	MethodPing
+	MethodLookup // want `not seeded in sampleMessages`
+	MethodDead   // want `never referenced outside its declaration`
+	//hoplite:wire-local fixture: pushed outside dispatch, excluded from the corpus
+	MethodLocal
+)
+
+// MethodDup collides with MethodLocal's value.
+const MethodDup Method = 4 // want `duplicates the value 4 of MethodLocal`
+
+// Message is the frame.
+type Message struct{ Method Method }
+
+// WriteMessage writes a frame (blocking I/O for the lockhold fixture).
+func WriteMessage(m Message) error { return nil }
+
+func isNone(m Method) bool { return m == MethodNone }
+
+func dispatch(m Method) {
+	switch m {
+	case MethodPing, MethodLookup, MethodDup:
+	}
+}

@@ -1,0 +1,183 @@
+// Package refpairtest exercises the refpair analyzer.
+package refpairtest
+
+import (
+	"context"
+
+	"hoplite/internal/buffer"
+	"hoplite/internal/core"
+	"hoplite/internal/store"
+)
+
+var sink *buffer.Buffer
+
+// leakEarlyReturn forgets the pin on the bad path.
+func leakEarlyReturn(s *store.Store, oid [8]byte, bad bool) int {
+	buf, ok := s.Acquire(oid) // want `store pin acquired here is not released on every path`
+	if !ok {
+		return 0
+	}
+	if bad {
+		return -1
+	}
+	n := buf.Len()
+	buf.Unref()
+	return n
+}
+
+// okGuarded releases on every live path.
+func okGuarded(s *store.Store, oid [8]byte) int {
+	buf, ok := s.Acquire(oid)
+	if !ok {
+		return 0
+	}
+	n := buf.Len()
+	buf.Unref()
+	return n
+}
+
+// okIfInit uses the if-init idiom; the failure branch carries no obligation.
+func okIfInit(s *store.Store, oid [8]byte) {
+	if buf, ok := s.Acquire(oid); ok {
+		buf.Unref()
+	}
+}
+
+// leakIfInit releases only on one inner branch.
+func leakIfInit(s *store.Store, oid [8]byte, cond bool) {
+	if buf, ok := s.Acquire(oid); ok { // want `store pin acquired here is not released on every path`
+		if cond {
+			buf.Unref()
+		}
+	}
+}
+
+// okDefer releases via defer.
+func okDefer(s *store.Store, oid [8]byte) int {
+	buf, ok := s.Acquire(oid)
+	if !ok {
+		return 0
+	}
+	defer buf.Unref()
+	return buf.Len()
+}
+
+// okBothBranches mirrors core.getOnce: the release shape differs by branch.
+func okBothBranches(s *store.Store, oid [8]byte, keep *buffer.Buffer) {
+	if pinned, ok := s.Acquire(oid); ok {
+		if pinned == keep {
+			defer pinned.Unref()
+		} else {
+			pinned.Unref()
+		}
+	}
+}
+
+// okTransferReturn hands the pin to the caller.
+func okTransferReturn(s *store.Store, oid [8]byte) *buffer.Buffer {
+	buf, ok := s.Acquire(oid)
+	if !ok {
+		return nil
+	}
+	return buf
+}
+
+// okTransferGlobal parks the pin with a longer-lived owner.
+func okTransferGlobal(s *store.Store, oid [8]byte) {
+	buf, ok := s.Acquire(oid)
+	if !ok {
+		return
+	}
+	sink = buf
+}
+
+// okTransferArg passes ownership to a callee.
+func okTransferArg(s *store.Store, oid [8]byte) {
+	buf, ok := s.Acquire(oid)
+	if !ok {
+		return
+	}
+	adopt(buf)
+}
+
+func adopt(b *buffer.Buffer) {}
+
+// okTransferChan hands the pin across a channel.
+func okTransferChan(s *store.Store, oid [8]byte, ch chan *buffer.Buffer) {
+	buf, ok := s.Acquire(oid)
+	if !ok {
+		return
+	}
+	ch <- buf
+}
+
+// okClosure releases inside a callback.
+func okClosure(s *store.Store, oid [8]byte, after func(func())) {
+	buf, ok := s.Acquire(oid)
+	if !ok {
+		return
+	}
+	after(func() { buf.Unref() })
+}
+
+// leakDiscard drops the result on the floor.
+func leakDiscard(s *store.Store, oid [8]byte) {
+	s.Acquire(oid) // want `result of Acquire is discarded`
+}
+
+// okAnnotated documents a hand-off the walker cannot see.
+func okAnnotated(s *store.Store, oid [8]byte) {
+	buf, ok := s.Acquire(oid) //hoplite:ref-transfer fixture: ownership registered elsewhere
+	if !ok {
+		return
+	}
+	_ = buf
+}
+
+// leakInLoop leaks the current iteration's pin on the early return.
+func leakInLoop(s *store.Store, oids [][8]byte, stop bool) {
+	for _, oid := range oids {
+		buf, ok := s.Acquire(oid) // want `store pin acquired here is not released on every path`
+		if !ok {
+			continue
+		}
+		if stop {
+			return
+		}
+		buf.Unref()
+	}
+}
+
+// leakSwitch misses the release on one arm and the implicit no-match path.
+func leakSwitch(s *store.Store, oid [8]byte, k int) {
+	buf, ok := s.Acquire(oid) // want `store pin acquired here is not released on every path`
+	if !ok {
+		return
+	}
+	switch k {
+	case 1:
+		buf.Unref()
+	case 2:
+	}
+}
+
+// leakRefErr forgets Release on the success path.
+func leakRefErr(ctx context.Context, n *core.Node, oid [8]byte) error {
+	ref, err := n.GetRef(ctx, oid) // want `object ref acquired here is not released on every path`
+	if err != nil {
+		return err
+	}
+	_ = ref
+	return nil
+}
+
+// okRefErr releases after use; the err != nil branch carries no obligation.
+func okRefErr(ctx context.Context, n *core.Node, oid [8]byte) ([]byte, error) {
+	ref, err := n.GetRef(ctx, oid)
+	if err != nil {
+		return nil, err
+	}
+	b := ref.Bytes()
+	ref.Release()
+	return b, nil
+}

@@ -1,0 +1,62 @@
+// Package sleeplooptest exercises the sleeploop analyzer.
+package sleeplooptest
+
+import (
+	"context"
+	"time"
+)
+
+// badPoll polls for completion.
+func badPoll(done func() bool) {
+	for !done() {
+		time.Sleep(10 * time.Millisecond) // want `time.Sleep in a loop is a poll loop`
+	}
+}
+
+// badRangePoll sleeps per item.
+func badRangePoll(items []int) {
+	for range items {
+		time.Sleep(time.Millisecond) // want `time.Sleep in a loop is a poll loop`
+	}
+}
+
+// okSingle is a one-shot delay, not a loop.
+func okSingle() {
+	time.Sleep(time.Millisecond)
+}
+
+// okClosure runs on its own schedule, not in the loop.
+func okClosure(items []int, spawn func(func())) {
+	for range items {
+		spawn(func() {
+			time.Sleep(time.Millisecond)
+		})
+	}
+}
+
+// okAnnotated models time rather than polling.
+func okAnnotated() {
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond) //hoplite:sleep-ok fixture: models link delay
+	}
+}
+
+// badCtxOrder hides the context in the middle of the signature.
+func badCtxOrder(id int, ctx context.Context) error { // want `context.Context must be the first parameter`
+	_ = id
+	return ctx.Err()
+}
+
+// okCtxOrder takes ctx first.
+func okCtxOrder(ctx context.Context, id int) error {
+	_ = id
+	return ctx.Err()
+}
+
+// okCtxAnnotated matches an externally fixed signature.
+//
+//hoplite:ctx-order fixture: signature fixed by an external interface
+func okCtxAnnotated(id int, ctx context.Context) error {
+	_ = id
+	return ctx.Err()
+}

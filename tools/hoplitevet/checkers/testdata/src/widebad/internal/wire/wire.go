@@ -1,0 +1,13 @@
+// Package wire exercises wiremethod's frame-width checks.
+package wire
+
+// Method is too wide for the one-byte frame slot.
+type Method uint16 // want `wire.Method must remain uint8`
+
+// RPC methods.
+const (
+	MethodNone Method = iota
+	MethodHuge Method = 300 // want `does not fit in one byte`
+)
+
+func dispatch(m Method) bool { return m == MethodNone || m == MethodHuge }

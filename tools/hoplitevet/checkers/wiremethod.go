@@ -1,0 +1,173 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"hoplite/tools/hoplitevet/analysis"
+)
+
+// WireMethod keeps the wire protocol's method table consistent. The
+// codec uses a fixed frame layout (no per-method encode/decode switches),
+// so the invariants that can rot are:
+//
+//   - wire.Method stays uint8 — the method occupies exactly one byte in
+//     the frame header, and every constant fits it uniquely;
+//   - every method constant is referenced somewhere in the module besides
+//     its declaration — an unreferenced method is dead protocol surface
+//     that decodes successfully but is silently dropped by dispatch;
+//   - every method constant is seeded in sampleMessages, the corpus that
+//     both TestMessageRoundTrip and FuzzMessageRoundTrip iterate, so
+//     round-trip coverage cannot silently exclude a method.
+//
+// A method deliberately handled outside normal dispatch (or excluded from
+// the corpus) is annotated `//hoplite:wire-local <reason>`.
+var WireMethod = &analysis.Analyzer{
+	Name: "wiremethod",
+	Doc:  "check wire.Method constants for width, uniqueness, dispatch references, and fuzz-seed coverage",
+	Run:  runWireMethod,
+}
+
+func runWireMethod(pass *analysis.Pass) error {
+	if !pkgSuffixMatch(pass.Pkg, "internal/wire") {
+		return nil
+	}
+	tn, ok := pass.Pkg.Scope().Lookup("Method").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	if basic, ok := tn.Type().Underlying().(*types.Basic); !ok || basic.Kind() != types.Uint8 {
+		pass.Reportf(tn.Pos(), "wire.Method must remain uint8: the method is one byte in the frame header, and widening it changes the wire layout")
+	}
+
+	var consts []methodConst
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Type() != tn.Type() {
+			continue
+		}
+		v, exact := constant.Uint64Val(c.Val())
+		if !exact || v > 255 {
+			pass.Reportf(c.Pos(), "wire.Method constant %s = %s does not fit in one byte", name, c.Val())
+			continue
+		}
+		consts = append(consts, methodConst{name: name, val: v, pos: c.Pos()})
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i].pos < consts[j].pos })
+
+	byVal := make(map[uint64]string)
+	for _, c := range consts {
+		if prev, dup := byVal[c.val]; dup {
+			pass.Reportf(c.pos, "wire.Method constant %s duplicates the value %d of %s; every method must be distinguishable on the wire", c.name, c.val, prev)
+			continue
+		}
+		byVal[c.val] = c.name
+	}
+
+	refs := moduleReferenceCounts(pass.ModuleDir, consts)
+	seeds := sampleMessageIdents(pass.Dir)
+	for _, c := range consts {
+		if refs != nil && refs[c.name] < 2 && !suppressed(pass, c.pos, tagWireLocal) {
+			pass.Reportf(c.pos, "wire.Method constant %s is never referenced outside its declaration; remove the dead method or wire it into dispatch (or annotate //hoplite:%s)", c.name, tagWireLocal)
+		}
+		// The zero value is the "no method" sentinel; the corpus seeds it
+		// implicitly via the zero Message.
+		if seeds != nil && c.val != 0 && !seeds[c.name] && !suppressed(pass, c.pos, tagWireLocal) {
+			pass.Reportf(c.pos, "wire.Method constant %s is not seeded in sampleMessages, so the round-trip and fuzz tests never exercise it (or annotate //hoplite:%s)", c.name, tagWireLocal)
+		}
+	}
+	return nil
+}
+
+// methodConst is one wire.Method constant declaration.
+type methodConst struct {
+	name string
+	val  uint64
+	pos  token.Pos
+}
+
+// moduleReferenceCounts counts whole-word occurrences of each constant
+// name across the module's Go files (the declaration itself counts once).
+// Returns nil when the module root is unknown.
+func moduleReferenceCounts(moduleDir string, consts []methodConst) map[string]int {
+	if moduleDir == "" || len(consts) == 0 {
+		return nil
+	}
+	res := make(map[string]*regexp.Regexp, len(consts))
+	counts := make(map[string]int, len(consts))
+	for _, c := range consts {
+		res[c.name] = regexp.MustCompile(`\b` + regexp.QuoteMeta(c.name) + `\b`)
+	}
+	filepath.WalkDir(moduleDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "tools", "vendor":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		// Test files don't count as references: a method reachable only
+		// from tests is still dead protocol surface.
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil
+		}
+		for name, re := range res {
+			counts[name] += len(re.FindAllIndex(data, -1))
+		}
+		return nil
+	})
+	return counts
+}
+
+// sampleMessageIdents parses the package's test files for a function
+// named sampleMessages and returns the set of identifiers its body
+// mentions. Returns nil when there is no such function (the corpus
+// invariant only applies where a corpus exists).
+func sampleMessageIdents(dir string) map[string]bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	fset := token.NewFileSet()
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "sampleMessages" || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			idents := make(map[string]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					idents[id.Name] = true
+				}
+				return true
+			})
+			return idents
+		}
+	}
+	return nil
+}

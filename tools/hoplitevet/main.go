@@ -1,0 +1,91 @@
+// Command hoplitevet is the repo's static-analysis suite: five analyzers
+// that mechanically enforce hoplite's concurrency invariants (see
+// docs/INVARIANTS.md at the repo root).
+//
+// It runs in two modes:
+//
+//	hoplitevet [packages]              standalone: load packages from
+//	                                   source and print all findings
+//	go vet -vettool=$(which hoplitevet) ./...
+//	                                   as a vettool, speaking the go
+//	                                   command's unitchecker protocol
+//
+// Exit status is 1 when findings are reported, 2 on operational errors.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"hoplite/tools/hoplitevet/analysis"
+	"hoplite/tools/hoplitevet/checkers"
+)
+
+var analyzers = []*analysis.Analyzer{
+	checkers.RefPair,
+	checkers.LockHold,
+	checkers.PoolEscape,
+	checkers.SleepLoop,
+	checkers.WireMethod,
+}
+
+func main() {
+	args := os.Args[1:]
+	// The go command probes build tools with -V=full (version for cache
+	// keys) and -flags (supported flags) before handing them a .cfg.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			if err := analysis.PrintVersion(); err != nil {
+				fatal(err)
+			}
+			return
+		case "-flags", "--flags":
+			analysis.PrintFlags()
+			return
+		case "help", "-h", "-help", "--help":
+			usage()
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		findings, err := analysis.RunUnit(args[0], analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		report(findings)
+		return
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := analysis.Run(".", patterns, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	report(findings)
+}
+
+func report(findings []analysis.Finding) {
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", f.Posn, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hoplitevet: %v\n", err)
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hoplitevet [packages]   (or: go vet -vettool=hoplitevet ./...)")
+	fmt.Fprintln(os.Stderr, "\nanalyzers:")
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}
