@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -539,6 +541,83 @@ func BenchmarkSmallObjectInline(b *testing.B) {
 // cold one streams its payload back off the spill file (demoting the
 // other). The reported MB/s is disk-restore throughput including the
 // demotion it triggers.
+// BenchmarkSmallObjectQPS measures the small-object fast path end to end
+// on the paper's emulated testbed link (200µs, 10 Gbps): concurrent
+// workers drive Put+Get pairs of 1 KiB objects between two nodes.
+//
+//	baseline — the pre-fast-path configuration: inline payloads off (every
+//	  Get is a directory acquire plus a data-plane pull), write batching
+//	  off (one syscall per control frame), location cache off.
+//	fastpath — the default configuration: sub-threshold objects ride
+//	  inline in directory replies (a cold Get is one RPC), control frames
+//	  coalesce, and locations are cached.
+//
+// CI's bench-smoke job asserts a floor on the fastpath ops/sec and the
+// fastpath/baseline ratio (see .github/workflows/ci.yml).
+func BenchmarkSmallObjectQPS(b *testing.B) {
+	const (
+		workers = 256
+		round   = 250 * time.Millisecond
+	)
+	link := &netem.LinkConfig{Latency: 200 * time.Microsecond, BytesPerSec: 1.25e9}
+	run := func(b *testing.B, opts hoplite.Options) {
+		opts.Emulate = link
+		// Single-replica directory: replication forwarding (PR 5) is
+		// orthogonal to the control-plane path being compared, and both
+		// variants share the setting.
+		opts.ReplicationFactor = 1
+		c, err := hoplite.StartLocalCluster(2, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		ctx := context.Background()
+		data := make([]byte, 1024)
+		var totalOps int64
+		var totalTime time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var ops atomic.Int64
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for j := 0; time.Since(start) < round; j++ {
+						oid := hoplite.ObjectIDFromString(fmt.Sprintf("qps-%d-%d-%d", i, w, j))
+						if err := c.Node(0).Put(ctx, oid, data); err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := c.Node(1).Get(ctx, oid); err != nil {
+							b.Error(err)
+							return
+						}
+						ops.Add(2)
+					}
+				}(w)
+			}
+			wg.Wait()
+			totalOps += ops.Load()
+			totalTime += time.Since(start)
+		}
+		b.StopTimer()
+		if totalTime > 0 {
+			b.ReportMetric(float64(totalOps)/totalTime.Seconds(), "ops/sec")
+		}
+	}
+	b.Run("baseline", func(b *testing.B) {
+		run(b, hoplite.Options{InlineThreshold: -1, MaxBatchDelay: -1, LocationCacheSize: -1})
+	})
+	b.Run("fastpath", func(b *testing.B) {
+		// Inline payloads + location cache at their defaults, plus a
+		// batching window matched to the link latency so concurrent
+		// control frames coalesce into shared segments.
+		run(b, hoplite.Options{MaxBatchDelay: 200 * time.Microsecond})
+	})
+}
+
 func BenchmarkSpillRestore(b *testing.B) {
 	const (
 		memLimit = 8 << 20

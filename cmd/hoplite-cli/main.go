@@ -7,6 +7,13 @@
 //	hoplite-cli -node 10.0.0.3:7077 -shards 10.0.0.1:7077 stat my-key
 //	hoplite-cli -node 10.0.0.3:7077 -shards 10.0.0.1:7077 delete my-key
 //
+// The load subcommand drives a small-object put/get workload against the
+// cluster and reports throughput and latency percentiles — the quickest
+// way to see the small-object fast path (inline payloads, write batching,
+// location caching) on real hardware:
+//
+//	hoplite-cli -shards 10.0.0.1:7077 load -keys 256 -value-size 1024 -concurrency 32 -duration 10s
+//
 // The CLI starts an ephemeral client node that joins the cluster for the
 // duration of the command.
 package main
@@ -16,8 +23,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hoplite"
@@ -30,8 +41,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "operation timeout")
 	flag.Parse()
 	args := flag.Args()
-	if *shards == "" || len(args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: hoplite-cli -shards HOST:PORT[,...] [-replication R] {put KEY FILE | get KEY FILE | stat KEY | delete KEY}")
+	if *shards == "" || len(args) < 1 || (args[0] != "load" && len(args) < 2) {
+		fmt.Fprintln(os.Stderr, "usage: hoplite-cli -shards HOST:PORT[,...] [-replication R] {put KEY FILE | get KEY FILE | stat KEY | delete KEY | load [-keys N] [-value-size B] [-concurrency C] [-duration D]}")
 		os.Exit(2)
 	}
 	var shardList []string
@@ -57,6 +68,13 @@ func main() {
 	defer node.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+
+	if args[0] == "load" {
+		if err := runLoad(node, args[1:]); err != nil {
+			log.Fatalf("load: %v", err)
+		}
+		return
+	}
 
 	cmd, key := args[0], args[1]
 	oid := hoplite.ObjectIDFromString(key)
@@ -102,4 +120,92 @@ func main() {
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}
+}
+
+// runLoad drives a closed-loop small-object workload: -keys objects of
+// -value-size bytes are put once, then -concurrency workers issue random
+// Gets against them for -duration, and the loop reports aggregate ops/sec
+// plus client-side latency percentiles.
+func runLoad(node *hoplite.Node, argv []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	keys := fs.Int("keys", 64, "number of distinct objects in the working set")
+	valueSize := fs.Int("value-size", 1024, "object size in bytes")
+	concurrency := fs.Int("concurrency", 16, "concurrent closed-loop workers")
+	duration := fs.Duration("duration", 10*time.Second, "measurement duration")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *keys < 1 || *valueSize < 0 || *concurrency < 1 {
+		return fmt.Errorf("invalid load parameters")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration+30*time.Second)
+	defer cancel()
+
+	payload := make([]byte, *valueSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	oids := make([]hoplite.ObjectID, *keys)
+	for i := range oids {
+		oids[i] = hoplite.ObjectIDFromString(fmt.Sprintf("load-%d-%d", time.Now().UnixNano(), i))
+		if err := node.Put(ctx, oids[i], payload); err != nil {
+			return fmt.Errorf("put %d: %w", i, err)
+		}
+	}
+	fmt.Printf("loaded %d objects x %d bytes; running %d workers for %v\n", *keys, *valueSize, *concurrency, *duration)
+
+	stop := make(chan struct{})
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		errCount  int64
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			local := make([]time.Duration, 0, 4096)
+			for {
+				select {
+				case <-stop:
+					mu.Lock()
+					latencies = append(latencies, local...)
+					mu.Unlock()
+					return
+				default:
+				}
+				oid := oids[rng.Intn(len(oids))]
+				t0 := time.Now()
+				_, err := node.Get(ctx, oid)
+				if err != nil {
+					atomic.AddInt64(&errCount, 1)
+					continue
+				}
+				local = append(local, time.Since(t0))
+			}
+		}(int64(w) + 1)
+	}
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	n := len(latencies)
+	if n == 0 {
+		return fmt.Errorf("no operations completed (%d errors)", errCount)
+	}
+	pct := func(p float64) time.Duration { return latencies[min(n-1, int(float64(n)*p))] }
+	fmt.Printf("ops: %d  errors: %d  throughput: %.0f ops/sec\n", n, errCount, float64(n)/elapsed.Seconds())
+	fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v\n", pct(0.50), pct(0.95), pct(0.99), latencies[n-1])
+
+	// Clean up the working set so repeated runs do not accumulate objects.
+	for _, oid := range oids {
+		_ = node.Delete(ctx, oid)
+	}
+	return nil
 }

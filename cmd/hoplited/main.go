@@ -53,7 +53,11 @@ func main() {
 	spillDir := flag.String("spill-dir", "", "directory for the disk spill tier (empty = spill disabled); rescanned on restart")
 	spillHigh := flag.Float64("spill-high", 0, "demotion high watermark as a fraction of -memory-limit (default 0.90)")
 	spillLow := flag.Float64("spill-low", 0, "demotion low watermark as a fraction of -memory-limit (default 0.70)")
-	small := flag.Int64("small-object", 0, "small-object inline threshold in bytes (default 64 KiB)")
+	small := flag.Int64("small-object", 0, "legacy name for -inline-threshold")
+	inline := flag.Int64("inline-threshold", 0, "small-object inline threshold in bytes (default 64 KiB, negative disables)")
+	batchDelay := flag.Duration("batch-delay", 0, "control-plane write-coalescing window (0 = opportunistic, negative disables batching)")
+	batchBytes := flag.Int("batch-bytes", 0, "flush a batching window early at this many queued bytes (0 = default 256 KiB)")
+	locCache := flag.Int("loc-cache", 0, "location cache entries per node (0 = default 4096, negative disables)")
 	flag.Parse()
 
 	if *spillDir != "" && *memLimit <= 0 && *capacity <= 0 {
@@ -96,6 +100,10 @@ func main() {
 		SpillHighWater:    *spillHigh,
 		SpillLowWater:     *spillLow,
 		SmallObject:       *small,
+		InlineThreshold:   *inline,
+		MaxBatchDelay:     *batchDelay,
+		MaxBatchBytes:     *batchBytes,
+		LocationCacheSize: *locCache,
 	})
 	if err != nil {
 		log.Fatalf("start node: %v", err)

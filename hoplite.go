@@ -132,8 +132,24 @@ type Options struct {
 	// full-duplex per-node bandwidth) to stand in for the paper's
 	// testbed. Nil runs plain loopback TCP.
 	Emulate *netem.LinkConfig
-	// SmallObject overrides the inline fast-path threshold (bytes).
+	// InlineThreshold overrides the inline fast-path threshold (bytes):
+	// objects below it ride inline in directory replies, making a cold
+	// Get of one exactly one RPC. 0 = default (64 KB), negative disables.
+	InlineThreshold int64
+	// SmallObject is the legacy name for InlineThreshold; consulted only
+	// when InlineThreshold is zero.
 	SmallObject int64
+	// MaxBatchDelay is the control-plane write-coalescing window: zero
+	// batches opportunistically (no added latency), positive trades
+	// latency for larger batches, negative disables batching.
+	MaxBatchDelay time.Duration
+	// MaxBatchBytes cuts a batching window short once this many encoded
+	// bytes are queued (0 = default).
+	MaxBatchBytes int
+	// LocationCacheSize bounds each node's cache of directory lookup
+	// results, which lets repeat Gets of remote objects skip the
+	// directory entirely. 0 = default (4096 entries), negative disables.
+	LocationCacheSize int
 	// StoreCapacity bounds each node's store; 0 = unlimited. Legacy
 	// semantics: unpinned LRU eviction at the bound, pinned allocations
 	// overshoot. Prefer MemoryLimit.
@@ -200,7 +216,11 @@ func (o Options) coreConfig(fab netem.Fabric, name string, ln net.Listener, topo
 		Name:              name,
 		Listener:          ln,
 		DirectoryTopology: topology,
+		InlineThreshold:   o.InlineThreshold,
 		SmallObject:       o.SmallObject,
+		MaxBatchDelay:     o.MaxBatchDelay,
+		MaxBatchBytes:     o.MaxBatchBytes,
+		LocationCacheSize: o.LocationCacheSize,
 		PipelineBlock:     o.PipelineBlock,
 		StoreCapacity:     o.StoreCapacity,
 		MemoryLimit:       o.MemoryLimit,

@@ -10,13 +10,21 @@ import (
 	"time"
 
 	"hoplite/internal/netem"
+	"hoplite/internal/wire"
 )
 
 // Default tuning constants, matching the paper where it states values.
 const (
-	// DefaultSmallObject is the small-object fast-path threshold: objects
-	// below it live inline in the directory (§3.2, 64 KB).
-	DefaultSmallObject = 64 << 10
+	// DefaultInlineThreshold is the small-object fast-path threshold:
+	// objects below it live inline in the directory (§3.2, 64 KB), so a
+	// cold Get of one is a single directory RPC with the payload riding
+	// the Acquire reply.
+	DefaultInlineThreshold = 64 << 10
+	// DefaultSmallObject is the legacy name of DefaultInlineThreshold.
+	DefaultSmallObject = DefaultInlineThreshold
+	// DefaultLocationCacheSize bounds the per-node cache of directory
+	// lookup results (see loccache.go).
+	DefaultLocationCacheSize = 4096
 	// DefaultPipelineBlock is the block granularity of in-node copies and
 	// streaming reduce (§5.1.1 reports a 4 MB pipelining block).
 	DefaultPipelineBlock = 4 << 20
@@ -66,9 +74,29 @@ type Config struct {
 	DirHeartbeatInterval time.Duration
 	DirLeaseTimeout      time.Duration
 
-	// SmallObject is the inline fast-path threshold in bytes.
-	// Defaults to DefaultSmallObject. Negative disables the fast path.
+	// InlineThreshold is the inline fast-path threshold in bytes: objects
+	// below it are stored inline in the directory and delivered in
+	// Acquire/Lookup replies, so a cold Get of one is exactly one RPC.
+	// Defaults to DefaultInlineThreshold. Negative disables the fast path.
+	InlineThreshold int64
+	// SmallObject is the legacy name for InlineThreshold; it is consulted
+	// only when InlineThreshold is zero.
 	SmallObject int64
+
+	// MaxBatchDelay is the control-plane write-coalescing window (see
+	// wire.BatchConfig.MaxDelay): zero batches opportunistically with no
+	// added latency, positive values trade latency for larger batches,
+	// and a negative value disables batching (one write+flush per call).
+	MaxBatchDelay time.Duration
+	// MaxBatchBytes cuts a batching window short once this many encoded
+	// bytes are queued. Zero means wire.DefaultMaxBatchBytes.
+	MaxBatchBytes int
+
+	// LocationCacheSize bounds the per-node cache of directory lookup
+	// results that lets repeat Gets of remote objects skip the directory
+	// and pull straight from a known complete-copy holder. Zero selects
+	// DefaultLocationCacheSize; negative disables the cache.
+	LocationCacheSize int
 	// PipelineBlock is the in-node copy and reduce streaming block size.
 	PipelineBlock int
 	// ChunkSize is the data-plane wire chunk size.
@@ -125,11 +153,21 @@ type Config struct {
 
 func (c *Config) withDefaults() Config {
 	cfg := *c
-	if cfg.SmallObject == 0 {
-		cfg.SmallObject = DefaultSmallObject
+	if cfg.InlineThreshold == 0 {
+		cfg.InlineThreshold = cfg.SmallObject // legacy alias
 	}
-	if cfg.SmallObject < 0 {
-		cfg.SmallObject = 0
+	if cfg.InlineThreshold == 0 {
+		cfg.InlineThreshold = DefaultInlineThreshold
+	}
+	if cfg.InlineThreshold < 0 {
+		cfg.InlineThreshold = 0
+	}
+	cfg.SmallObject = cfg.InlineThreshold
+	if cfg.LocationCacheSize == 0 {
+		cfg.LocationCacheSize = DefaultLocationCacheSize
+	}
+	if cfg.LocationCacheSize < 0 {
+		cfg.LocationCacheSize = 0
 	}
 	if cfg.PipelineBlock <= 0 {
 		cfg.PipelineBlock = DefaultPipelineBlock
@@ -156,4 +194,9 @@ func (c *Config) withDefaults() Config {
 		cfg.PingInterval = 20 * time.Millisecond
 	}
 	return cfg
+}
+
+// batchConfig translates the batching knobs into the wire package's form.
+func (c *Config) batchConfig() wire.BatchConfig {
+	return wire.BatchConfig{MaxDelay: c.MaxBatchDelay, MaxBytes: c.MaxBatchBytes}
 }

@@ -48,6 +48,14 @@ type Node struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	locs *locCache // nil when LocationCacheSize < 0
+
+	// tombs records recently observed cluster-wide deletions, keyed by
+	// object, so the inline fast path cannot resurrect an object whose
+	// eviction fan-out already visited this node (see noteTombstone).
+	tombMu sync.Mutex
+	tombs  map[types.ObjectID]time.Time
+
 	mu          sync.Mutex
 	pulls       map[types.ObjectID]*pull
 	execs       map[execKey]*reduceExec
@@ -93,6 +101,9 @@ func NewNode(cfg Config) (*Node, error) {
 		execs:       make(map[execKey]*reduceExec),
 		peers:       make(map[string]*wire.Client),
 		storeChange: make(chan struct{}),
+	}
+	if c.LocationCacheSize > 0 {
+		n.locs = newLocCache(c.LocationCacheSize)
 	}
 	n.ctx, n.cancel = context.WithCancel(context.Background())
 	if c.SpillDir != "" {
@@ -164,11 +175,12 @@ func NewNode(cfg Config) (*Node, error) {
 		n.shard = directory.NewServer()
 	}
 	n.dir = directory.NewReplicatedClient(n.id, topo, n.dialCtrl)
+	n.dir.SetBatchConfig(c.batchConfig())
 
 	n.dataLn = newChanListener(ln.Addr())
 	n.ctrlLn = newChanListener(ln.Addr())
 	n.dataSrv = transport.NewServer(n.dataLn, n.serveBuffer, c.ChunkSize, n.onSendFailure)
-	n.ctrlSrv = wire.NewServer(n.ctrlLn, n.handleCtrl)
+	n.ctrlSrv = wire.NewServerWith(n.ctrlLn, n.handleCtrl, c.batchConfig())
 
 	n.wg.Add(3)
 	go func() { defer n.wg.Done(); n.acceptLoop() }()
@@ -359,7 +371,7 @@ func (n *Node) peerCtrl(ctx context.Context, addr string) (*wire.Client, error) 
 	if err != nil {
 		return nil, err
 	}
-	c := wire.NewClient(conn, nil)
+	c := wire.NewClientWith(conn, nil, n.cfg.batchConfig())
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -395,6 +407,11 @@ func (n *Node) handleCtrl(ctx context.Context, m wire.Message, p *wire.Peer) wir
 	case wire.MethodReduceCancel:
 		return n.handleReduceCancel(m)
 	case wire.MethodEvictLocal:
+		// Record the deletion BEFORE dropping the copy: an inline acquire
+		// racing this fan-out checks the tombstone after inserting, so one
+		// of the two orders always wins (no resurrected copy).
+		n.noteTombstone(m.OID)
+		n.dropLocEntry(m.OID)
 		n.store.Delete(m.OID)
 		if n.spill != nil {
 			n.spill.Remove(m.OID)

@@ -20,9 +20,10 @@ import (
 // locally, the receiver just waits until it gets the completed object",
 // §3.4.1).
 type pull struct {
-	ready chan struct{} // closed once buf is set (or err)
-	buf   *buffer.Buffer
-	err   error
+	ready   chan struct{} // closed once buf is set (or err)
+	buf     *buffer.Buffer
+	err     error
+	started time.Time // registration instant, for the inline tombstone check
 }
 
 // Put stores an immutable object (Table 1). Objects below the small-object
@@ -31,7 +32,7 @@ type pull struct {
 // registered up front so remote receivers can start fetching while the
 // copy is still running (§3.3). The object is pinned locally until Delete.
 func (n *Node) Put(ctx context.Context, oid types.ObjectID, data []byte) error {
-	if int64(len(data)) < n.cfg.SmallObject {
+	if int64(len(data)) < n.cfg.InlineThreshold {
 		return n.dir.PutInline(ctx, oid, data)
 	}
 	w, err := n.Create(ctx, oid, int64(len(data)))
@@ -243,6 +244,8 @@ func (n *Node) Delete(ctx context.Context, oid types.ObjectID) error {
 	if err != nil {
 		return err
 	}
+	n.noteTombstone(oid)
+	n.dropLocEntry(oid)
 	var firstErr error
 	for _, loc := range locs {
 		if loc.Node == n.id {
@@ -293,7 +296,7 @@ func (n *Node) ensureLocal(ctx context.Context, oid types.ObjectID) (*buffer.Buf
 			}
 			return p.buf, nil
 		}
-		p := &pull{ready: make(chan struct{})}
+		p := &pull{ready: make(chan struct{}), started: time.Now()}
 		n.pulls[oid] = p
 		n.mu.Unlock()
 		buf, err := n.startPull(ctx, oid, p)
@@ -320,9 +323,33 @@ func (n *Node) startPull(ctx context.Context, oid types.ObjectID, p *pull) (*buf
 		close(p.ready)
 		return nil, err
 	}
+	done := func(buf *buffer.Buffer) (*buffer.Buffer, error) {
+		p.buf = buf
+		n.mu.Lock()
+		delete(n.pulls, oid)
+		n.mu.Unlock()
+		close(p.ready)
+		return buf, nil
+	}
+	// detached serves a payload to the requesting Get from a buffer that
+	// is NOT in the store: the object was deleted while the reply was in
+	// flight, so materializing a copy the eviction fan-out already missed
+	// would resurrect it. The overlapping caller still gets its bytes.
+	detached := func(payload []byte) (*buffer.Buffer, error) {
+		buf := buffer.New(int64(len(payload)))
+		if err := buf.Append(payload); err != nil {
+			return fail(err)
+		}
+		buf.Seal()
+		return done(buf)
+	}
 	inline := func(payload []byte) (*buffer.Buffer, error) {
 		// Small-object fast path: the payload came with the reply.
+		if n.tombstonedSince(oid, p.started) {
+			return detached(payload)
+		}
 		buf, err := n.store.InsertSealed(oid, payload, false)
+		inserted := err == nil
 		if errors.Is(err, types.ErrExists) {
 			// A racing local writer owns the entry; use its buffer.
 			if existing, ok := n.store.Get(oid); ok {
@@ -332,13 +359,15 @@ func (n *Node) startPull(ctx context.Context, oid types.ObjectID, p *pull) (*buf
 		if err != nil {
 			return fail(err)
 		}
+		if inserted && n.tombstonedSince(oid, p.started) {
+			// The eviction fan-out landed between the check above and the
+			// insert; take our copy back out and serve detached. A joined
+			// pre-existing entry is left alone — the fan-out owns it.
+			n.store.Delete(oid)
+			return detached(payload)
+		}
 		n.signalStoreChange()
-		p.buf = buf
-		n.mu.Lock()
-		delete(n.pulls, oid)
-		n.mu.Unlock()
-		close(p.ready)
-		return buf, nil
+		return done(buf)
 	}
 
 	// Spill tier first: an object this node demoted to disk restores
@@ -346,6 +375,16 @@ func (n *Node) startPull(ctx context.Context, oid types.ObjectID, p *pull) (*buf
 	if n.spill != nil {
 		if buf, ok := n.restoreFromSpill(oid, p); ok {
 			return buf, nil
+		}
+	}
+
+	// Location cache second: a remembered complete-copy holder is pulled
+	// from directly, skipping the directory entirely (warm fast path).
+	if n.locs != nil {
+		if snap, ok := n.locs.get(oid); ok {
+			if buf, ok := n.startCachedPull(oid, p, snap); ok {
+				return buf, nil
+			}
 		}
 	}
 
@@ -367,6 +406,7 @@ func (n *Node) startPull(ctx context.Context, oid types.ObjectID, p *pull) (*buf
 				return fail(cerr)
 			}
 			n.signalStoreChange()
+			n.armLocCache(oid, ml.Size, ml.Gen, ml.Senders)
 			p.buf = buf
 			close(p.ready)
 			n.wg.Add(1)
@@ -388,6 +428,7 @@ func (n *Node) startPull(ctx context.Context, oid types.ObjectID, p *pull) (*buf
 			}
 			lease = directory.Lease{Sender: ml.Senders[0], Size: ml.Size, Gen: ml.Gen}
 			acquired = true
+			n.armLocCache(oid, ml.Size, ml.Gen, ml.Senders)
 		default:
 			// No unleased complete copy right now (or the object is not
 			// produced yet): fall through to the blocking single-sender
@@ -414,6 +455,12 @@ func (n *Node) startPull(ctx context.Context, oid types.ObjectID, p *pull) (*buf
 		return fail(err)
 	}
 	n.signalStoreChange()
+	if !acquired {
+		// Blocking-acquire senders may hold only a partial copy, so they
+		// do not seed the cache; the watch record fills in whole-copy
+		// holders asynchronously.
+		n.armLocCache(oid, lease.Size, lease.Gen, nil)
+	}
 	p.buf = buf
 	close(p.ready)
 	n.wg.Add(1)

@@ -420,7 +420,7 @@ func (n *Node) Reduce(ctx context.Context, target types.ObjectID, sources []type
 
 	// Small objects live inline in the directory; there is no collective
 	// transfer to schedule — the coordinator folds them locally (§3.2).
-	if size < n.cfg.SmallObject {
+	if size < n.cfg.InlineThreshold {
 		return n.reduceSmall(ctx, target, sources, num, op, size, updates, absorb, srcInline, &readyOrder)
 	}
 	return n.reduceTree(ctx, target, num, op, size, updates, absorb, srcLocs, &readyOrder, inQueue)

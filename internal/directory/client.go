@@ -53,13 +53,16 @@ type Client struct {
 	dial   Dialer
 
 	opSeq atomic.Int64 // per-client mutation sequence for acquire dedupe
+	calls atomic.Int64 // RPC attempts issued to shard replicas
 
-	mu      sync.Mutex
-	conns   map[string]*wire.Client
-	primary []int // per-shard guess of the current primary's group index
-	readAt  []int // per-shard replica index currently serving reads
-	closed  bool
-	done    chan struct{}
+	mu          sync.Mutex
+	batch       wire.BatchConfig // write batching for shard connections
+	retiredWire wire.BatchStats  // batching counters of closed connections
+	conns       map[string]*wire.Client
+	primary     []int // per-shard guess of the current primary's group index
+	readAt      []int // per-shard replica index currently serving reads
+	closed      bool
+	done        chan struct{}
 
 	subMu   sync.Mutex
 	subs    map[types.ObjectID][]subscription
@@ -114,6 +117,36 @@ func NewReplicatedClient(self types.NodeID, groups [][]string, dial Dialer) *Cli
 	return c
 }
 
+// SetBatchConfig sets the write-batching config used for shard
+// connections. Call it before the first RPC; connections already
+// established keep their old config.
+func (c *Client) SetBatchConfig(cfg wire.BatchConfig) {
+	c.mu.Lock()
+	c.batch = cfg
+	c.mu.Unlock()
+}
+
+// ClientStats is a snapshot of the client's control-plane activity, used
+// by the fast-path tests ("a warm cached Get issues zero directory RPCs")
+// and the QPS benchmark.
+type ClientStats struct {
+	Calls int64           // RPC attempts issued to shard replicas
+	Wire  wire.BatchStats // write batching aggregated across shard connections
+}
+
+// Stats snapshots the client's RPC and write-batching counters, including
+// connections that have since been dropped.
+func (c *Client) Stats() ClientStats {
+	st := ClientStats{Calls: c.calls.Load()}
+	c.mu.Lock()
+	st.Wire = c.retiredWire
+	for _, wc := range c.conns {
+		st.Wire.Add(wc.BatchStats())
+	}
+	c.mu.Unlock()
+	return st
+}
+
 // NumShards returns the number of directory shards.
 func (c *Client) NumShards() int { return len(c.groups) }
 
@@ -136,11 +169,14 @@ func (c *Client) connTo(ctx context.Context, addr string) (*wire.Client, error) 
 	}
 	c.mu.Unlock()
 
+	c.mu.Lock()
+	batch := c.batch
+	c.mu.Unlock()
 	nc, err := c.dial(ctx, addr)
 	if err != nil {
 		return nil, fmt.Errorf("directory: dial shard %s: %w", addr, err)
 	}
-	wc := wire.NewClient(nc, c.onNotify)
+	wc := wire.NewClientWith(nc, c.onNotify, batch)
 	wc.OnOrphan(c.compensateOrphan)
 	wc.OnDown(func() { c.connDown(addr, wc) })
 
@@ -164,6 +200,7 @@ func (c *Client) dropConn(addr string, wc *wire.Client) {
 	c.mu.Lock()
 	if c.conns[addr] == wc {
 		delete(c.conns, addr)
+		c.retiredWire.Add(wc.BatchStats())
 	}
 	c.mu.Unlock()
 	wc.Close()
@@ -343,6 +380,7 @@ func (c *Client) route(ctx context.Context, shard int, m wire.Message, read bool
 		wc, err := c.connTo(ctx, addr)
 		if err == nil {
 			reached = true
+			c.calls.Add(1)
 			var resp wire.Message
 			resp, err = wc.Call(ctx, m)
 			if err == nil {
@@ -611,6 +649,7 @@ func (c *Client) wireUnsubscribe(oid types.ObjectID, addr string) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
+	c.calls.Add(1)
 	_, _ = wc.Call(ctx, wire.Message{Method: wire.MethodUnsubscribe, OID: oid, Node: c.self})
 }
 
@@ -663,6 +702,7 @@ func (c *Client) Close() error {
 	conns := make([]*wire.Client, 0, len(c.conns))
 	for _, wc := range c.conns {
 		conns = append(conns, wc)
+		c.retiredWire.Add(wc.BatchStats())
 	}
 	c.conns = make(map[string]*wire.Client)
 	c.mu.Unlock()

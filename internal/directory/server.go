@@ -386,8 +386,22 @@ func (s *Server) applyLocked(m wire.Message) (resp wire.Message, mutated bool, n
 		return resp, true, s.notifyLocked(m.OID, e)
 
 	case wire.MethodAcquire:
-		// m.Sender carries the sender chosen by the primary's resolution.
 		e := s.entryLocked(m.OID)
+		if m.Complete {
+			// Inline delivery resolved by the primary (m.Sender empty): the
+			// receiver materializes a complete copy from the payload riding
+			// the reply, so register it like any other holder. A later
+			// Delete's snapshot then includes this receiver and the eviction
+			// fan-out reaches the copy — an inline reply can no longer
+			// resurrect a deleted object.
+			e.prog[m.Node] = types.ProgressComplete
+			resp.Payload = e.inline
+			resp.Size = e.size
+			resp.Gen = e.gen
+			e.wake()
+			return resp, true, s.notifyLocked(m.OID, e)
+		}
+		// m.Sender carries the sender chosen by the primary's resolution.
 		e.leasedTo[m.Sender] = m.Node
 		e.deps[m.Node] = m.Sender
 		if _, held := e.prog[m.Node]; !held {
@@ -399,8 +413,17 @@ func (s *Server) applyLocked(m wire.Message) (resp wire.Message, mutated bool, n
 		return resp, true, s.notifyLocked(m.OID, e)
 
 	case wire.MethodAcquireMany:
-		// m.Locs carries the leases chosen by the primary's resolution.
 		e := s.entryLocked(m.OID)
+		if m.Complete {
+			// Inline delivery: see the MethodAcquire branch above.
+			e.prog[m.Node] = types.ProgressComplete
+			resp.Payload = e.inline
+			resp.Size = e.size
+			resp.Gen = e.gen
+			e.wake()
+			return resp, true, s.notifyLocked(m.OID, e)
+		}
+		// m.Locs carries the leases chosen by the primary's resolution.
 		for _, l := range m.Locs {
 			e.leasedTo[l.Node] = m.Node
 		}
@@ -626,9 +649,22 @@ func (s *Server) acquire(ctx context.Context, m wire.Message) wire.Message {
 			s.mu.Unlock()
 			return resp
 		case e.inline != nil:
-			resp.Payload = e.inline
-			resp.Size = e.size
+			// Inline fast path: deliver the payload in the reply AND commit
+			// the receiver as a complete-copy holder (replicated op, so the
+			// registration survives failover and Delete's fan-out covers the
+			// copy this response materializes).
+			op := m
+			op.Complete = true // marker: inline delivery, no sender chosen
+			op.Sender = ""
+			resp, _, notify := s.applyLocked(op)
+			fwd := s.commitLocked(rep, op, resp)
 			s.mu.Unlock()
+			if fwd != nil && !fwd() {
+				return s.deposedResp(rep)
+			}
+			if notify != nil {
+				notify()
+			}
 			return resp
 		default:
 			if sender, ok := pickLocked(e, receiver); ok {
@@ -697,9 +733,21 @@ func (s *Server) acquireMany(m wire.Message) wire.Message {
 		s.mu.Unlock()
 		return resp
 	case e.inline != nil:
-		resp.Payload = e.inline
-		resp.Size = e.size
+		// Inline fast path: same replicated receiver registration as the
+		// single-sender acquire above.
+		op := m
+		op.Complete = true
+		op.Sender = ""
+		op.Locs = nil
+		resp, _, notify := s.applyLocked(op)
+		fwd := s.commitLocked(rep, op, resp)
 		s.mu.Unlock()
+		if fwd != nil && !fwd() {
+			return s.deposedResp(rep)
+		}
+		if notify != nil {
+			notify()
+		}
 		return resp
 	}
 	var memory, disk []types.NodeID

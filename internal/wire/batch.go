@@ -1,0 +1,278 @@
+// Write-side frame batching for control-plane connections.
+//
+// The original write path took a connection-wide mutex, encoded one frame,
+// and flushed it — one syscall per logical call, with every concurrent
+// caller serialized behind the lock for the duration of the kernel write.
+// Under the high-QPS small-object workload (paper Fig11/Fig14) that
+// per-call flush is the dominant control-plane cost.
+//
+// The batcher inverts the structure: callers only append their encoded
+// frame to a shared queue under a short lock, and a single flusher
+// goroutine drains whatever has accumulated with ONE conn.Write per
+// wakeup. While that write is in flight, new frames pile into the queue
+// and ride the next write, so batch size adapts to load: an idle
+// connection still sends every frame immediately (no added latency when
+// MaxDelay is zero), a busy one coalesces dozens of frames per syscall.
+// Frames drain in enqueue order, preserving the transport invariant that
+// a request precedes its MethodCancel on the wire.
+package wire
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hoplite/internal/types"
+)
+
+// DefaultMaxBatchBytes is the queue size at which the flusher stops
+// waiting for more frames and writes immediately.
+const DefaultMaxBatchBytes = 256 << 10
+
+// BatchConfig controls write-side frame coalescing on one connection.
+// The zero value is the recommended setting: opportunistic coalescing
+// with no artificial delay.
+type BatchConfig struct {
+	// MaxDelay is an extra coalescing window: after the first frame is
+	// queued the flusher waits up to MaxDelay for more frames before
+	// writing, trading latency for larger batches. Zero (the default)
+	// keeps batching opportunistic — frames are written as soon as the
+	// flusher is free, so an uncontended call pays no added latency.
+	// Negative disables batching entirely: each frame is encoded and
+	// written synchronously by its caller, the pre-batching behavior.
+	MaxDelay time.Duration
+	// MaxBytes cuts a MaxDelay window short once this many encoded bytes
+	// are queued. Zero means DefaultMaxBatchBytes.
+	MaxBytes int
+}
+
+// BatchStats counts write-side batching activity on one connection.
+// Frames/Flushes is the average batch size; it grows with concurrency.
+type BatchStats struct {
+	Frames  int64 // logical frames enqueued
+	Flushes int64 // write rounds (≈ syscalls) issued on the connection
+	Bytes   int64 // encoded bytes written
+}
+
+// Add accumulates other into s (for aggregating across connections).
+func (s *BatchStats) Add(other BatchStats) {
+	s.Frames += other.Frames
+	s.Flushes += other.Flushes
+	s.Bytes += other.Bytes
+}
+
+// batcher owns all writes to one connection.
+type batcher struct {
+	w     io.Writer
+	cfg   BatchConfig
+	cap   int         // backpressure threshold on queued bytes
+	onErr func(error) // invoked (once, on the flusher goroutine) on write failure
+
+	mu     sync.Mutex
+	drain  sync.Cond // signaled when the queue empties or the batcher dies
+	queue  []byte    // encoded frames awaiting the flusher
+	spare  []byte    // previous batch buffer, recycled to avoid realloc
+	closed bool
+	failed error
+
+	kick chan struct{} // wakes the flusher; cap 1
+	stop chan struct{} // closed by close()
+
+	frames  atomic.Int64
+	flushes atomic.Int64
+	bytes   atomic.Int64
+}
+
+func newBatcher(w io.Writer, cfg BatchConfig, onErr func(error)) *batcher {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultMaxBatchBytes
+	}
+	b := &batcher{
+		w:     w,
+		cfg:   cfg,
+		cap:   4 * cfg.MaxBytes,
+		onErr: onErr,
+		queue: make([]byte, 0, 1024),
+		spare: make([]byte, 0, 1024),
+		kick:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+	}
+	b.drain.L = &b.mu
+	if cfg.MaxDelay >= 0 {
+		go b.run()
+	}
+	return b
+}
+
+// enqueue encodes m onto the queue and wakes the flusher. In disabled
+// mode (MaxDelay < 0) it writes the frame synchronously instead. It
+// blocks only when the queue is over the backpressure cap — i.e. the
+// connection cannot keep up — mirroring how the old locked write path
+// blocked callers behind a slow conn.
+func (b *batcher) enqueue(m *Message) error {
+	if b.cfg.MaxDelay < 0 {
+		return b.writeNow(m)
+	}
+	b.mu.Lock()
+	for len(b.queue) >= b.cap && b.failed == nil && !b.closed {
+		b.drain.Wait()
+	}
+	if err := b.deadLocked(); err != nil {
+		b.mu.Unlock()
+		return err
+	}
+	q, err := AppendMessage(b.queue, m)
+	if err != nil {
+		b.mu.Unlock()
+		return err
+	}
+	b.queue = q
+	b.mu.Unlock()
+	b.frames.Add(1)
+	select {
+	case b.kick <- struct{}{}:
+	default: // flusher already signaled
+	}
+	return nil
+}
+
+// writeNow is the legacy unbatched path: encode and write one frame
+// under the lock, exactly as the pre-batching Client did.
+func (b *batcher) writeNow(m *Message) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.deadLocked(); err != nil {
+		return err
+	}
+	err := writeMessage(b.w, m) //hoplite:locked-io batching disabled: the lock exists to serialize whole frames on the shared conn
+	b.frames.Add(1)
+	if err != nil {
+		b.failLocked(err)
+		return err
+	}
+	b.flushes.Add(1)
+	return nil
+}
+
+func (b *batcher) deadLocked() error {
+	if b.failed != nil {
+		return b.failed
+	}
+	if b.closed {
+		return types.ErrClosed
+	}
+	return nil
+}
+
+// run is the flusher: one goroutine per connection draining the queue.
+func (b *batcher) run() {
+	var timer *time.Timer
+	for {
+		select {
+		case <-b.kick:
+		case <-b.stop:
+			b.flush() // final drain, best effort
+			return
+		}
+		if d := b.cfg.MaxDelay; d > 0 && !b.full() {
+			// Coalescing window: wait for more frames until the window
+			// closes or the queue passes MaxBytes.
+			if timer == nil {
+				timer = time.NewTimer(d)
+			} else {
+				timer.Reset(d)
+			}
+		window:
+			for {
+				select {
+				case <-b.kick:
+					if b.full() {
+						break window
+					}
+				case <-timer.C:
+					break window
+				case <-b.stop:
+					break window
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		if !b.flush() {
+			return
+		}
+	}
+}
+
+// full reports whether the queue has reached the MaxBytes threshold.
+func (b *batcher) full() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue) >= b.cfg.MaxBytes
+}
+
+// flush swaps the queue out under the lock, writes it with the lock
+// released (concurrent enqueuers keep filling the fresh queue), and
+// recycles the drained buffer. Returns false when the batcher is done.
+func (b *batcher) flush() bool {
+	b.mu.Lock()
+	batch := b.queue
+	b.queue = b.spare[:0]
+	b.spare = nil
+	b.mu.Unlock()
+
+	var err error
+	if len(batch) > 0 {
+		_, err = b.w.Write(batch)
+		b.flushes.Add(1)
+		b.bytes.Add(int64(len(batch)))
+	}
+
+	b.mu.Lock()
+	b.spare = batch[:0]
+	if err != nil && b.failed == nil {
+		b.failLocked(err)
+	}
+	dead := b.failed != nil || b.closed
+	b.drain.Broadcast()
+	b.mu.Unlock()
+
+	if err != nil && b.onErr != nil {
+		b.onErr(err)
+	}
+	return !dead
+}
+
+// failLocked marks the batcher dead. Callers hold b.mu.
+func (b *batcher) failLocked(err error) {
+	b.failed = err
+	b.drain.Broadcast()
+}
+
+// close stops the flusher after a final best-effort drain. Frames
+// enqueued after close are rejected with ErrClosed.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.drain.Broadcast()
+	b.mu.Unlock()
+	close(b.stop)
+}
+
+// stats snapshots the batching counters.
+func (b *batcher) stats() BatchStats {
+	return BatchStats{
+		Frames:  b.frames.Load(),
+		Flushes: b.flushes.Load(),
+		Bytes:   b.bytes.Load(),
+	}
+}

@@ -138,10 +138,12 @@ func (m *Message) SetError(err error) {
 
 // Client is a control-plane connection with pipelined calls. Multiple
 // goroutines may Call concurrently; responses are matched by message ID.
+// Writes go through a coalescing batcher (see batch.go): concurrent
+// callers enqueue encoded frames and a single flusher drains them with
+// one write per wakeup, so many logical calls share a syscall.
 type Client struct {
 	conn net.Conn
-	wmu  sync.Mutex
-	bw   *bufio.Writer
+	b    *batcher
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -162,16 +164,26 @@ type Client struct {
 // NewClient wraps an established connection. notify, if non-nil, receives
 // server push messages (FlagNotify) synchronously from the read loop.
 func NewClient(conn net.Conn, notify func(Message)) *Client {
+	return NewClientWith(conn, notify, BatchConfig{})
+}
+
+// NewClientWith is NewClient with an explicit write-batching config.
+func NewClientWith(conn net.Conn, notify func(Message), cfg BatchConfig) *Client {
 	c := &Client{
 		conn:      conn,
-		bw:        bufio.NewWriter(conn),
 		pending:   make(map[uint64]chan Message),
 		abandoned: make(map[uint64]Message),
 		notify:    notify,
 	}
+	c.b = newBatcher(conn, cfg, func(err error) {
+		c.fail(fmt.Errorf("wire: send: %w", err))
+	})
 	go c.readLoop()
 	return c
 }
+
+// BatchStats reports the connection's write-batching counters.
+func (c *Client) BatchStats() BatchStats { return c.b.stats() }
 
 // OnOrphan registers fn to receive late responses to abandoned calls
 // (Call returned on ctx cancellation before the response arrived), so the
@@ -258,6 +270,7 @@ func (c *Client) fail(err error) {
 		m.SetError(types.ErrNodeDown)
 		ch <- m
 	}
+	c.b.close()
 	c.conn.Close()
 }
 
@@ -281,13 +294,7 @@ func (c *Client) Call(ctx context.Context, m Message) (Message, error) {
 	c.pending[m.ID] = ch
 	c.mu.Unlock()
 
-	c.wmu.Lock()
-	err := writeMessage(c.bw, &m)
-	if err == nil {
-		err = c.bw.Flush() //hoplite:locked-io wmu exists to serialize frame writes on the shared conn
-	}
-	c.wmu.Unlock()
-	if err != nil {
+	if err := c.b.enqueue(&m); err != nil {
 		c.mu.Lock()
 		delete(c.pending, m.ID)
 		c.mu.Unlock()
@@ -330,35 +337,28 @@ func (c *Client) Call(ctx context.Context, m Message) (Message, error) {
 
 func (c *Client) sendCancel(id uint64) {
 	m := Message{Method: MethodCancel, Num: int64(id)}
-	c.wmu.Lock()
-	if err := writeMessage(c.bw, &m); err == nil {
-		_ = c.bw.Flush() //hoplite:locked-io wmu exists to serialize frame writes on the shared conn
-	}
-	c.wmu.Unlock()
+	// The request frame was enqueued before this cancel, and the batcher
+	// drains in FIFO order, so the server still sees request-before-cancel.
+	_ = c.b.enqueue(&m)
 }
 
 // Peer is the server-side view of one client connection. Handlers can hold
-// on to it to push notifications later.
+// on to it to push notifications later. Responses and pushes from
+// concurrent handlers coalesce through the same write batcher as the
+// client side, so a burst of small replies shares one syscall.
 type Peer struct {
 	conn net.Conn
-	wmu  sync.Mutex
-	bw   *bufio.Writer
+	b    *batcher
 
 	mu      sync.Mutex
 	closed  bool
 	onClose []func()
 }
 
-// send writes one frame to the client.
-//
-//hoplite:locked-io the whole function is the write-serialization critical section; wmu exists to keep concurrent handler pushes from interleaving frames
+// send enqueues one frame to the client. A write failure surfaces
+// asynchronously through the batcher's error hook, which closes the peer.
 func (p *Peer) send(m *Message) error {
-	p.wmu.Lock()
-	defer p.wmu.Unlock()
-	if err := writeMessage(p.bw, m); err != nil {
-		return err
-	}
-	return p.bw.Flush()
+	return p.b.enqueue(m)
 }
 
 // Notify pushes an unsolicited message to the client.
@@ -392,11 +392,15 @@ func (p *Peer) close() {
 	fns := p.onClose
 	p.onClose = nil
 	p.mu.Unlock()
+	p.b.close()
 	p.conn.Close()
 	for _, fn := range fns {
 		fn()
 	}
 }
+
+// BatchStats reports the peer connection's write-batching counters.
+func (p *Peer) BatchStats() BatchStats { return p.b.stats() }
 
 // Handler processes one request. It runs on its own goroutine and may
 // block; ctx is canceled when the connection closes or the server stops.
@@ -406,6 +410,7 @@ type Handler func(ctx context.Context, m Message, p *Peer) Message
 type Server struct {
 	ln      net.Listener
 	handler Handler
+	batch   BatchConfig
 
 	mu    sync.Mutex
 	peers map[*Peer]struct{}
@@ -415,7 +420,13 @@ type Server struct {
 
 // NewServer returns a server ready to Serve on ln.
 func NewServer(ln net.Listener, h Handler) *Server {
-	return &Server{ln: ln, handler: h, peers: make(map[*Peer]struct{}), done: make(chan struct{})}
+	return NewServerWith(ln, h, BatchConfig{})
+}
+
+// NewServerWith is NewServer with an explicit write-batching config for
+// the per-connection response/notify path.
+func NewServerWith(ln net.Listener, h Handler, cfg BatchConfig) *Server {
+	return &Server{ln: ln, handler: h, batch: cfg, peers: make(map[*Peer]struct{}), done: make(chan struct{})}
 }
 
 // Addr returns the listening address.
@@ -438,7 +449,8 @@ func (s *Server) Serve() error {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
-	peer := &Peer{conn: conn, bw: bufio.NewWriter(conn)}
+	peer := &Peer{conn: conn}
+	peer.b = newBatcher(conn, s.batch, func(error) { peer.close() })
 	s.mu.Lock()
 	select {
 	case <-s.done:
