@@ -7,6 +7,15 @@
 //	hoplite-cli -node 10.0.0.3:7077 -shards 10.0.0.1:7077 stat my-key
 //	hoplite-cli -node 10.0.0.3:7077 -shards 10.0.0.1:7077 delete my-key
 //
+// Against a membership-enabled cluster (hoplited -bootstrap/-join) the
+// CLI also drives membership: status prints the cluster map and per-node
+// shard roles, drain retires a node gracefully (waits for its shard
+// handoffs and sole-copy evacuation), and join re-registers a node:
+//
+//	hoplite-cli -shards 10.0.0.1:7077 status
+//	hoplite-cli -shards 10.0.0.1:7077 -timeout 5m drain 10.0.0.4:7077
+//	hoplite-cli -shards 10.0.0.1:7077 join 10.0.0.4:7077
+//
 // The load subcommand drives a small-object put/get workload against the
 // cluster and reports throughput and latency percentiles — the quickest
 // way to see the small-object fast path (inline payloads, write batching,
@@ -41,8 +50,9 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "operation timeout")
 	flag.Parse()
 	args := flag.Args()
-	if *shards == "" || len(args) < 1 || (args[0] != "load" && len(args) < 2) {
-		fmt.Fprintln(os.Stderr, "usage: hoplite-cli -shards HOST:PORT[,...] [-replication R] {put KEY FILE | get KEY FILE | stat KEY | delete KEY | load [-keys N] [-value-size B] [-concurrency C] [-duration D]}")
+	noKey := map[string]bool{"load": true, "status": true}
+	if *shards == "" || len(args) < 1 || (!noKey[args[0]] && len(args) < 2) {
+		fmt.Fprintln(os.Stderr, "usage: hoplite-cli -shards HOST:PORT[,...] [-replication R] {put KEY FILE | get KEY FILE | stat KEY | delete KEY | status | join ADDR [storage-only] | drain ADDR | load [-keys N] [-value-size B] [-concurrency C] [-duration D]}")
 		os.Exit(2)
 	}
 	var shardList []string
@@ -57,10 +67,26 @@ func main() {
 		topology = hoplite.ReplicaGroups(shardList, *replication)
 	}
 
+	// Against a membership-enabled cluster the true topology is the
+	// cluster map, not the -shards flag (which may name a single seed):
+	// fetch it first so the ephemeral node derives the real shard count
+	// and replica groups. Static clusters fail the probe and use the
+	// flag-derived topology as before.
+	fab := &netem.TCP{}
+	var initialMap *hoplite.ClusterMap
+	{
+		mctx, mcancel := context.WithTimeout(context.Background(), 3*time.Second)
+		if cm, err := hoplite.FetchClusterMap(mctx, fab, shardList); err == nil {
+			initialMap = &cm
+		}
+		mcancel()
+	}
+
 	node, err := hoplite.NewNode(hoplite.Config{
-		Fabric:            &netem.TCP{},
+		Fabric:            fab,
 		DirectoryShards:   shardList,
 		DirectoryTopology: topology,
+		InitialMap:        initialMap,
 	})
 	if err != nil {
 		log.Fatalf("join cluster: %v", err)
@@ -72,6 +98,29 @@ func main() {
 	if args[0] == "load" {
 		if err := runLoad(node, args[1:]); err != nil {
 			log.Fatalf("load: %v", err)
+		}
+		return
+	}
+	switch args[0] {
+	case "status":
+		if err := runStatus(ctx, node); err != nil {
+			log.Fatalf("status: %v", err)
+		}
+		return
+	case "join":
+		// Register args[1] in the cluster map on its behalf (the daemon's
+		// own -join flag does this at startup; the subcommand covers
+		// re-registering a node that was declared dead by mistake).
+		shardHost := !(len(args) > 2 && args[2] == "storage-only")
+		cm, err := node.Directory().JoinNode(ctx, hoplite.NodeID(args[1]), shardHost)
+		if err != nil {
+			log.Fatalf("join: %v", err)
+		}
+		fmt.Printf("joined %s (epoch %d, %d members)\n", args[1], cm.Epoch, len(cm.Members))
+		return
+	case "drain":
+		if err := runDrain(ctx, node, hoplite.NodeID(args[1])); err != nil {
+			log.Fatalf("drain: %v", err)
 		}
 		return
 	}
@@ -119,6 +168,84 @@ func main() {
 		fmt.Printf("deleted %s\n", key)
 	default:
 		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+// runStatus prints the cluster map (epoch, members, states), every node's
+// directory shard roles, and the under-replicated object count.
+func runStatus(ctx context.Context, node *hoplite.Node) error {
+	dir := node.Directory()
+	if _, err := dir.FetchMap(ctx); err != nil {
+		return fmt.Errorf("fetch map (is the cluster membership-enabled?): %w", err)
+	}
+	st, err := dir.Status(ctx, "")
+	if err != nil {
+		return err
+	}
+	cm := st.Map
+	if cm.Epoch == 0 {
+		cm = dir.Map()
+	}
+	fmt.Printf("cluster map: epoch %d, %d shards, dir-rf %d, object-rf %d\n",
+		cm.Epoch, cm.NumShards, cm.DirRF, cm.ObjectRF)
+	// Per-node roles: which shards each member leads, per the primaries
+	// that answered the status sweep.
+	leads := make(map[hoplite.NodeID][]int)
+	under, total := 0, 0
+	for _, sh := range st.Shards {
+		leads[sh.Primary] = append(leads[sh.Primary], sh.Shard)
+		under += sh.Under
+		total += sh.Objects
+	}
+	groups := cm.DeriveGroups()
+	for _, m := range cm.Members {
+		backs := 0
+		for _, g := range groups {
+			for _, a := range g {
+				if a == string(m.Addr) {
+					backs++
+				}
+			}
+		}
+		role := "storage"
+		if m.ShardHost {
+			role = fmt.Sprintf("shard host (leads %d, replicates %d)", len(leads[m.Addr]), backs)
+		}
+		fmt.Printf("  %s  %s  %s\n", m.Addr, m.State, role)
+	}
+	fmt.Printf("objects: %d tracked, %d under-replicated\n", total, under)
+	return nil
+}
+
+// runDrain starts a graceful drain of addr and waits until the node has
+// left the cluster map, reporting evacuation progress.
+func runDrain(ctx context.Context, node *hoplite.Node, addr hoplite.NodeID) error {
+	dir := node.Directory()
+	cm, err := dir.DrainNode(ctx, addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("draining %s (epoch %d)\n", addr, cm.Epoch)
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		cm, err = dir.FetchMap(ctx)
+		if err != nil {
+			return err
+		}
+		if _, ok := cm.MemberState(addr); !ok {
+			fmt.Printf("drained %s (epoch %d)\n", addr, cm.Epoch)
+			return nil
+		}
+		sole, err := dir.SoleCopies(ctx, addr)
+		if err == nil {
+			fmt.Printf("  waiting: %d sole copies left\n", sole)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
 	}
 }
 

@@ -17,6 +17,14 @@
 //	hoplited -listen 10.0.0.3:7077 -shards 10.0.0.1:7077,10.0.0.2:7077,10.0.0.3:7077 -replication 2
 //	hoplited -listen 10.0.0.4:7077 -shards 10.0.0.1:7077,10.0.0.2:7077,10.0.0.3:7077 -replication 2  # worker
 //
+//	# elastic membership: three founding shard hosts boot with identical
+//	# -bootstrap lists; later nodes join (and leave) a running cluster
+//	hoplited -listen 10.0.0.1:7077 -bootstrap 10.0.0.1:7077,10.0.0.2:7077,10.0.0.3:7077 -replication 2
+//	hoplited -listen 10.0.0.2:7077 -bootstrap 10.0.0.1:7077,10.0.0.2:7077,10.0.0.3:7077 -replication 2
+//	hoplited -listen 10.0.0.3:7077 -bootstrap 10.0.0.1:7077,10.0.0.2:7077,10.0.0.3:7077 -replication 2
+//	hoplited -listen 10.0.0.4:7077 -join 10.0.0.1:7077          # scale-out
+//	hoplite-cli -shards 10.0.0.1:7077 drain 10.0.0.4:7077       # scale-in
+//
 //	# bounded memory with a disk spill tier (out-of-core working sets)
 //	hoplited -listen 10.0.0.2:7077 -shards 10.0.0.1:7077 \
 //	    -memory-limit 8589934592 -spill-dir /data/hoplite-spill
@@ -41,6 +49,7 @@ import (
 
 	"hoplite"
 	"hoplite/internal/netem"
+	"hoplite/internal/types"
 )
 
 func main() {
@@ -58,6 +67,11 @@ func main() {
 	batchDelay := flag.Duration("batch-delay", 0, "control-plane write-coalescing window (0 = opportunistic, negative disables batching)")
 	batchBytes := flag.Int("batch-bytes", 0, "flush a batching window early at this many queued bytes (0 = default 256 KiB)")
 	locCache := flag.Int("loc-cache", 0, "location cache entries per node (0 = default 4096, negative disables)")
+	bootstrap := flag.String("bootstrap", "", "comma-separated founding member addresses: enables epoch-versioned membership with every listed node an active shard host; all founding daemons must be given the identical list")
+	join := flag.String("join", "", "comma-separated seed addresses of a running membership-enabled cluster to join at startup (elastic scale-out)")
+	storageOnly := flag.Bool("storage-only", false, "with -join: join as a pure storage member, never hosting directory shard replicas")
+	objectRepl := flag.Int("object-replication", 1, "with -bootstrap: object replication target the repair scanner restores after drains and declared node losses")
+	repairEvery := flag.Duration("repair-interval", 0, "re-replication scanner period (0 = default 250ms, negative disables); membership clusters only")
 	flag.Parse()
 
 	if *spillDir != "" && *memLimit <= 0 && *capacity <= 0 {
@@ -76,13 +90,53 @@ func main() {
 	// given identical -shards/-replication values so they derive the same
 	// topology; a daemon hosts a replica iff its listen address appears
 	// in a group.
+	// In membership mode (-bootstrap/-join) the replication factor rides
+	// the cluster map instead of a static topology.
 	var topology [][]string
-	if *replication > 1 {
+	if *replication > 1 && *bootstrap == "" && *join == "" {
 		if len(shardList) == 0 {
 			log.Fatal("hoplited: -replication requires -shards")
 		}
 		topology = hoplite.ReplicaGroups(shardList, *replication)
 	}
+	// Membership mode: -bootstrap builds the founding epoch-1 cluster map
+	// (identical on every founding daemon); -join asks a running cluster's
+	// membership shard to admit this node. Both make the static topology
+	// flags irrelevant.
+	var initialMap *types.ClusterMap
+	var joinAddrs []string
+	switch {
+	case *bootstrap != "" && *join != "":
+		log.Fatal("hoplited: -bootstrap and -join are mutually exclusive")
+	case *bootstrap != "":
+		var members []string
+		for _, s := range strings.Split(*bootstrap, ",") {
+			members = append(members, strings.TrimSpace(s))
+		}
+		r := *replication
+		if r < 1 {
+			r = 1
+		}
+		cm := types.ClusterMap{
+			Epoch:     1,
+			NumShards: len(members),
+			DirRF:     r,
+			ObjectRF:  *objectRepl,
+		}
+		for _, m := range members {
+			cm.Members = append(cm.Members, types.Member{
+				Addr:      types.NodeID(m),
+				State:     types.MemberActive,
+				ShardHost: true,
+			})
+		}
+		initialMap = &cm
+	case *join != "":
+		for _, s := range strings.Split(*join, ",") {
+			joinAddrs = append(joinAddrs, strings.TrimSpace(s))
+		}
+	}
+
 	fab := &netem.TCP{ListenAddr: *listen}
 	ln, err := fab.Listen("")
 	if err != nil {
@@ -94,6 +148,10 @@ func main() {
 		HostShard:         *hostShard,
 		DirectoryShards:   shardList,
 		DirectoryTopology: topology,
+		InitialMap:        initialMap,
+		JoinAddrs:         joinAddrs,
+		JoinStorageOnly:   *storageOnly,
+		RepairInterval:    *repairEvery,
 		StoreCapacity:     *capacity,
 		MemoryLimit:       *memLimit,
 		SpillDir:          *spillDir,
@@ -108,7 +166,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("start node: %v", err)
 	}
-	fmt.Printf("hoplited: node %s up (shard host: %v)\n", node.Addr(), *hostShard)
+	if cm := node.ClusterMap(); cm.Epoch > 0 {
+		fmt.Printf("hoplited: node %s up (membership epoch %d, %d members)\n", node.Addr(), cm.Epoch, len(cm.Members))
+	} else {
+		fmt.Printf("hoplited: node %s up (shard host: %v)\n", node.Addr(), *hostShard)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

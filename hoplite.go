@@ -65,6 +65,9 @@ type (
 	BytesFuture = core.Future[[]byte]
 	// ReduceFuture resolves to the sources used (Node.ReduceAsync).
 	ReduceFuture = core.Future[[]types.ObjectID]
+	// ClusterMap is the epoch-versioned membership map of an elastic
+	// cluster (hoplited -bootstrap/-join); see FetchClusterMap.
+	ClusterMap = types.ClusterMap
 )
 
 // Re-exported enums and constructors.
@@ -98,6 +101,16 @@ var SumF32 = ReduceOp{Kind: types.Sum, DType: types.F32}
 
 // NewNode starts a standalone node (production mode). See core.Config.
 func NewNode(cfg Config) (*Node, error) { return core.NewNode(cfg) }
+
+// FetchClusterMap asks each seed address in turn for the cluster map of
+// a running membership-enabled cluster (hoplited -bootstrap/-join).
+// Ephemeral clients use it before NewNode to derive the true shard
+// topology from one seed instead of restating the founding list; pass
+// the result as Config.InitialMap. Fails if the cluster runs a static
+// topology.
+func FetchClusterMap(ctx context.Context, fab netem.Fabric, seeds []string) (ClusterMap, error) {
+	return core.FetchClusterMap(ctx, fab, seeds)
+}
 
 // ReplicaGroups derives the directory replica topology from an ordered
 // shard list: group i is shards[i .. i+r-1 mod n] in succession order,
@@ -192,6 +205,15 @@ type Options struct {
 	// itself, so killing any single node never wedges directory metadata.
 	// 1 disables replication.
 	ReplicationFactor int
+	// ObjectReplication is the object replication target the background
+	// repair scanner restores after a node is drained or declared
+	// permanently lost (default 1: no proactive copies, only sole-copy
+	// evacuation off draining nodes). It never triggers on mere
+	// disconnection — failure detection stays with the framework (§5.5).
+	ObjectReplication int
+	// RepairInterval is the repair scanner period (0 = directory default
+	// of 250ms, negative disables).
+	RepairInterval time.Duration
 	// Latency/Bandwidth are the cost-model estimates for degree
 	// selection; when Emulate is set they default to its values.
 	Latency   time.Duration
@@ -203,7 +225,7 @@ type Options struct {
 // coreConfig translates the cluster options into one node's core.Config.
 // Every node construction — initial boot and restart — goes through this
 // single helper so a new knob cannot be silently dropped from one path.
-func (o Options) coreConfig(fab netem.Fabric, name string, ln net.Listener, topology [][]string) core.Config {
+func (o Options) coreConfig(fab netem.Fabric, name string, ln net.Listener, topology [][]string, initialMap *types.ClusterMap) core.Config {
 	spillDir := ""
 	if o.SpillDir != "" {
 		// One subdirectory per node: in-process cluster nodes must not
@@ -216,6 +238,8 @@ func (o Options) coreConfig(fab netem.Fabric, name string, ln net.Listener, topo
 		Name:              name,
 		Listener:          ln,
 		DirectoryTopology: topology,
+		InitialMap:        initialMap,
+		RepairInterval:    o.RepairInterval,
 		InlineThreshold:   o.InlineThreshold,
 		SmallObject:       o.SmallObject,
 		MaxBatchDelay:     o.MaxBatchDelay,
@@ -241,8 +265,9 @@ type Cluster struct {
 	fab      netem.Fabric
 	em       *netem.Emulated
 	opts     Options
-	addrs    []string   // every node's (stable) listen address
-	topology [][]string // directory shard replica groups
+	addrs    []string         // every node's (stable) listen address
+	topology [][]string       // directory shard replica groups at boot
+	bootMap  types.ClusterMap // epoch-1 membership map the cluster booted with
 	nodes    []*core.Node
 }
 
@@ -298,8 +323,28 @@ func StartLocalCluster(n int, opts Options) (*Cluster, error) {
 		r = 3
 	}
 	c.topology = ReplicaGroups(addrs[:shardNodes], r)
+	// Every cluster boots with an epoch-1 cluster map whose derived shard
+	// groups equal the static topology above, so membership starts enabled
+	// (AddNode/DrainNode work) without changing the boot layout.
+	objRF := opts.ObjectReplication
+	if objRF < 1 {
+		objRF = 1
+	}
+	c.bootMap = types.ClusterMap{
+		Epoch:     1,
+		NumShards: shardNodes,
+		DirRF:     r,
+		ObjectRF:  objRF,
+	}
+	for i, addr := range addrs {
+		c.bootMap.Members = append(c.bootMap.Members, types.Member{
+			Addr:      types.NodeID(addr),
+			State:     types.MemberActive,
+			ShardHost: i < shardNodes,
+		})
+	}
 	for i := 0; i < n; i++ {
-		node, err := core.NewNode(opts.coreConfig(fab, fmt.Sprintf("node-%d", i), lns[i], c.topology))
+		node, err := core.NewNode(opts.coreConfig(fab, fmt.Sprintf("node-%d", i), lns[i], c.topology, &c.bootMap))
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -307,6 +352,96 @@ func StartLocalCluster(n int, opts Options) (*Cluster, error) {
 		c.nodes = append(c.nodes, node)
 	}
 	return c, nil
+}
+
+// currentMap returns the freshest cluster map any live node holds,
+// falling back to the boot map.
+func (c *Cluster) currentMap() types.ClusterMap {
+	best := c.bootMap
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		if cm := n.ClusterMap(); cm.Epoch > best.Epoch {
+			best = cm
+		}
+	}
+	return best
+}
+
+// liveAddrs returns the control addresses of every node still occupying
+// its slot (killed-but-not-removed nodes included; callers that dial the
+// list tolerate dead entries).
+func (c *Cluster) liveAddrs() []string {
+	var out []string
+	for _, n := range c.nodes {
+		if n != nil {
+			out = append(out, n.Addr())
+		}
+	}
+	return out
+}
+
+// AddNode scales the cluster out by one node: it joins through the
+// membership shard, receives the cluster map, and starts serving (and,
+// unless storageOnly, becomes eligible to host directory shard
+// replicas — the map rebalance assigns it some as soon as it lands).
+// Returns the new node's index.
+func (c *Cluster) AddNode(storageOnly bool) (int, error) {
+	i := len(c.nodes)
+	name := fmt.Sprintf("node-%d", i)
+	ln, err := c.fab.Listen(name)
+	if err != nil {
+		return -1, fmt.Errorf("hoplite: add node %d: %w", i, err)
+	}
+	cfg := c.opts.coreConfig(c.fab, name, ln, nil, nil)
+	cfg.JoinAddrs = c.liveAddrs()
+	cfg.JoinStorageOnly = storageOnly
+	node, err := core.NewNode(cfg)
+	if err != nil {
+		ln.Close()
+		return -1, fmt.Errorf("hoplite: add node %d: %w", i, err)
+	}
+	c.nodes = append(c.nodes, node)
+	c.addrs = append(c.addrs, ln.Addr().String())
+	return i, nil
+}
+
+// DrainNode scales the cluster in by one node gracefully: node i stops
+// taking placements, hands off its directory shard replicas, waits for
+// its sole object copies to be evacuated, leaves the cluster map, and is
+// closed. Its slot is left empty (nil), like after a failed restart.
+func (c *Cluster) DrainNode(ctx context.Context, i int) error {
+	node := c.nodes[i]
+	if node == nil {
+		return fmt.Errorf("hoplite: node %d is not running", i)
+	}
+	if err := node.Drain(ctx); err != nil {
+		return err
+	}
+	c.nodes[i] = nil
+	return node.Close()
+}
+
+// DeclareDead removes a permanently lost node from the cluster map (the
+// operator's judgment, not the system's — mere disconnection never
+// triggers this, per the paper's framework-owned failure model §5.5).
+// The directory purges its locations and the repair scanner re-creates
+// the lost copies on surviving nodes, restoring ObjectReplication.
+func (c *Cluster) DeclareDead(ctx context.Context, i int) error {
+	dead := types.NodeID(c.addrs[i])
+	err := fmt.Errorf("hoplite: no live node to declare node %d dead", i)
+	for _, n := range c.nodes {
+		if n == nil || n.ID() == dead {
+			continue
+		}
+		// A slot can hold a node whose fabric link was killed without the
+		// cluster knowing; try the next candidate instead of giving up.
+		if _, err = n.Directory().DeclareDead(ctx, dead); err == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 // Node returns the i-th node (nil if the slot is empty after a failed
@@ -365,7 +500,24 @@ func (c *Cluster) RestartNode(i int) error {
 	if err != nil {
 		return fmt.Errorf("hoplite: restart node %d: %w", i, err)
 	}
-	node, err := core.NewNode(c.opts.coreConfig(c.fab, name, ln, c.topology))
+	// Re-join through a live seed whenever one exists: join is idempotent
+	// for a node still in the map, hands back the current epoch's map, and
+	// — crucially — the joining node purges the stale directory locations
+	// its previous life registered, so the repair scanner sees the true
+	// replication level. With no live seed (whole-cluster restart), fall
+	// back to booting from the freshest map any slot holds.
+	cm := c.currentMap()
+	cfg := c.opts.coreConfig(c.fab, name, ln, c.topology, &cm)
+	if seeds := c.liveAddrs(); len(seeds) > 0 {
+		shardHost := true
+		if mi := cm.MemberIndex(types.NodeID(c.addrs[i])); mi >= 0 {
+			shardHost = cm.Members[mi].ShardHost
+		}
+		cfg.InitialMap = nil
+		cfg.JoinAddrs = seeds
+		cfg.JoinStorageOnly = !shardHost
+	}
+	node, err := core.NewNode(cfg)
 	if err != nil {
 		ln.Close()
 		return fmt.Errorf("hoplite: restart node %d: %w", i, err)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hoplite/internal/netem"
+	"hoplite/internal/types"
 	"hoplite/internal/wire"
 )
 
@@ -73,6 +74,27 @@ type Config struct {
 	// Zero selects the directory package defaults (50ms / 300ms).
 	DirHeartbeatInterval time.Duration
 	DirLeaseTimeout      time.Duration
+
+	// InitialMap, when set, enables epoch-versioned cluster membership
+	// with this boot map: directory shard replica groups are derived from
+	// it (DirectoryTopology/DirectoryShards are ignored), requests are
+	// stamped with its epoch, and later joins/drains re-shape the cluster
+	// live. All founding nodes must boot with the identical map.
+	InitialMap *types.ClusterMap
+	// JoinAddrs lists control addresses of an existing membership-enabled
+	// cluster. When non-empty the node joins at startup: it announces
+	// itself to the membership shard, receives the cluster map, and boots
+	// from it. Takes precedence over every other topology knob.
+	JoinAddrs []string
+	// JoinStorageOnly joins the node as a pure storage member: it hosts
+	// object bytes but is never assigned a directory shard replica.
+	JoinStorageOnly bool
+	// RepairInterval is the period of the directory re-replication
+	// scanner that restores the map's ObjectRF after permanent node loss
+	// and evacuates sole copies off draining nodes. Zero selects the
+	// directory default (250ms); negative disables the scanner. Only
+	// meaningful with membership enabled.
+	RepairInterval time.Duration
 
 	// InlineThreshold is the inline fast-path threshold in bytes: objects
 	// below it are stored inline in the directory and delivered in

@@ -50,6 +50,15 @@ type Node struct {
 
 	locs *locCache // nil when LocationCacheSize < 0
 
+	// cmap is the node's view of the epoch-versioned cluster map (Epoch 0
+	// when membership is disabled). encodedMap caches its wire form for
+	// stale-epoch bounce responses; drainMon latches the drain monitor so
+	// it starts at most once per process.
+	cmapMu     sync.Mutex
+	cmap       types.ClusterMap
+	encodedMap []byte
+	drainMon   bool
+
 	// tombs records recently observed cluster-wide deletions, keyed by
 	// object, so the inline fast path cannot resurrect an object whose
 	// eviction fan-out already visited this node (see noteTombstone).
@@ -133,10 +142,31 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	n.store = store.NewTiered(tier)
 
-	// Resolve the directory topology: explicit replica groups, the legacy
-	// flat shard list (single-replica groups), or self-hosting the only
-	// shard.
+	// Resolve the directory topology: a live join against an existing
+	// cluster, an epoch-versioned boot map, explicit replica groups, the
+	// legacy flat shard list (single-replica groups), or self-hosting the
+	// only shard.
+	var initialMap *types.ClusterMap
+	joined := false
+	switch {
+	case len(c.JoinAddrs) > 0:
+		jctx, jcancel := context.WithTimeout(n.ctx, 30*time.Second)
+		cm, err := directory.Join(jctx, n.dialCtrl, c.JoinAddrs, n.id, !c.JoinStorageOnly)
+		jcancel()
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("core: join cluster: %w", err)
+		}
+		initialMap = &cm
+		joined = true
+	case c.InitialMap != nil:
+		cm := c.InitialMap.Clone()
+		initialMap = &cm
+	}
 	topo := c.DirectoryTopology
+	if initialMap != nil {
+		topo = initialMap.DeriveGroups()
+	}
 	if len(topo) == 0 {
 		for _, s := range c.DirectoryShards {
 			topo = append(topo, []string{s})
@@ -158,14 +188,23 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 	}
 	switch {
-	case hostsReplica:
-		n.shard = directory.NewReplicated(directory.Config{
+	case hostsReplica || initialMap != nil:
+		// With membership enabled every node runs the replicated server —
+		// even one hosting zero replicas today — so map pushes, snapshots
+		// and later rebalances land on live machinery.
+		dcfg := directory.Config{
 			Self:              addr,
 			Groups:            topo,
 			Dial:              n.dialCtrl,
 			HeartbeatInterval: c.DirHeartbeatInterval,
 			LeaseTimeout:      c.DirLeaseTimeout,
-		})
+		}
+		if initialMap != nil {
+			dcfg.InitialMap = initialMap
+			dcfg.RepairInterval = c.RepairInterval
+			dcfg.OnMap = n.applyMap
+		}
+		n.shard = directory.NewReplicated(dcfg)
 	case c.HostShard:
 		// Flag-driven hosting where the listen address does not textually
 		// match any shard entry (e.g. -listen 0.0.0.0:7077 behind a
@@ -176,6 +215,12 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	n.dir = directory.NewReplicatedClient(n.id, topo, n.dialCtrl)
 	n.dir.SetBatchConfig(c.batchConfig())
+	if initialMap != nil {
+		n.cmap = initialMap.Clone()
+		n.encodedMap = types.EncodeClusterMap(nil, n.cmap)
+		n.dir.InstallMap(*initialMap)
+		n.dir.OnMap(n.applyMap)
+	}
 
 	n.dataLn = newChanListener(ln.Addr())
 	n.ctrlLn = newChanListener(ln.Addr())
@@ -191,6 +236,22 @@ func NewNode(cfg Config) (*Node, error) {
 		// peer replicas probing this shard during its boot query get
 		// answers instead of timeouts.
 		n.shard.Start()
+	}
+	if joined {
+		// A (re)joining node's in-memory store is empty, but a previous
+		// life of the same address may have registered locations that were
+		// never purged (a crashed-and-restarted member is never removed
+		// from the map). Those phantom copies would mask under-replication
+		// from the repair scanner, so clear them before serving. Runs
+		// before the spill re-offer: disk-backed locations are purged too
+		// and then re-registered from the surviving spill files.
+		pctx, pcancel := context.WithTimeout(n.ctx, 30*time.Second)
+		err := n.dir.PurgeNode(pctx, n.id)
+		pcancel()
+		if err != nil {
+			n.Close()
+			return nil, fmt.Errorf("core: purge stale locations on join: %w", err)
+		}
 	}
 	if n.spill != nil && n.spill.Len() > 0 {
 		n.wg.Add(1)
@@ -351,6 +412,45 @@ func (n *Node) dialCtrl(ctx context.Context, addr string) (net.Conn, error) {
 	return n.dialPlane(ctx, addr, magicCtrl)
 }
 
+// FetchClusterMap asks each seed in turn for the cluster map of a
+// running membership-enabled cluster. Ephemeral clients (the CLI) use it
+// before NewNode to derive the true shard topology from a single seed
+// address instead of requiring the operator to restate the founding
+// list; pass the result as Config.InitialMap.
+func FetchClusterMap(ctx context.Context, fab netem.Fabric, seeds []string) (types.ClusterMap, error) {
+	var lastErr error = fmt.Errorf("core: no seed addresses")
+	for _, addr := range seeds {
+		conn, err := fab.Dial(ctx, "", addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if _, err := conn.Write([]byte{magicCtrl}); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		wc := wire.NewClient(conn, nil)
+		resp, err := wc.Call(ctx, wire.Message{Method: wire.MethodMapGet})
+		wc.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if rerr := resp.ErrorOf(); rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		cm, derr := types.DecodeClusterMap(resp.Payload)
+		if derr != nil {
+			lastErr = derr
+			continue
+		}
+		return cm, nil
+	}
+	return types.ClusterMap{}, lastErr
+}
+
 func (n *Node) dialData(ctx context.Context, addr string) (net.Conn, error) {
 	return n.dialPlane(ctx, addr, magicData)
 }
@@ -401,11 +501,23 @@ func (n *Node) dropPeer(addr string, c *wire.Client) {
 // handleCtrl dispatches control-plane requests: directory methods go to
 // the hosted shard, reduce and eviction methods to the node itself.
 func (n *Node) handleCtrl(ctx context.Context, m wire.Message, p *wire.Peer) wire.Message {
+	if resp, stale := n.staleCheck(&m); stale {
+		return resp
+	}
 	switch m.Method {
 	case wire.MethodReduceStart:
 		return n.handleReduceStart(m)
 	case wire.MethodReduceCancel:
 		return n.handleReduceCancel(m)
+	case wire.MethodRepairPull:
+		// Re-replication: the membership shard asked this node to become a
+		// holder. Pull through the ordinary receiver-driven data plane,
+		// which registers the complete copy in the directory as it lands.
+		var resp wire.Message
+		if err := n.WaitLocal(ctx, m.OID); err != nil {
+			resp.SetError(err)
+		}
+		return resp
 	case wire.MethodEvictLocal:
 		// Record the deletion BEFORE dropping the copy: an inline acquire
 		// racing this fan-out checks the tombstone after inserting, so one
@@ -427,6 +539,149 @@ func (n *Node) handleCtrl(ctx context.Context, m wire.Message, p *wire.Peer) wir
 		resp.Err = "core: node hosts no directory shard"
 		return resp
 	}
+}
+
+// staleCheck bounces epoch-stamped control requests from peers whose
+// cluster map is older than ours: the response carries the current map so
+// the caller can catch up and retry. Membership-plane methods are exempt —
+// they carry the map itself or have their own epoch semantics (a joiner's
+// first request is legitimately unstamped-or-old).
+func (n *Node) staleCheck(m *wire.Message) (wire.Message, bool) {
+	switch m.Method {
+	case wire.MethodJoin, wire.MethodDrain, wire.MethodMapPush, wire.MethodMapGet:
+		return wire.Message{}, false
+	}
+	n.cmapMu.Lock()
+	defer n.cmapMu.Unlock()
+	if n.cmap.Epoch == 0 || m.Epoch == 0 || m.Epoch >= n.cmap.Epoch {
+		return wire.Message{}, false
+	}
+	var resp wire.Message
+	resp.SetError(types.ErrStaleMap)
+	resp.Epoch = n.cmap.Epoch
+	resp.Payload = append([]byte(nil), n.encodedMap...)
+	return resp, true
+}
+
+// mapEpoch returns the node's current cluster-map epoch (0 when
+// membership is disabled).
+func (n *Node) mapEpoch() int64 {
+	n.cmapMu.Lock()
+	defer n.cmapMu.Unlock()
+	return n.cmap.Epoch
+}
+
+// ClusterMap returns the node's view of the cluster map; Epoch 0 means
+// membership is disabled.
+func (n *Node) ClusterMap() types.ClusterMap {
+	n.cmapMu.Lock()
+	defer n.cmapMu.Unlock()
+	return n.cmap.Clone()
+}
+
+// ShardServer exposes the node's directory shard server, nil when the
+// node hosts none (used by tests and tools).
+func (n *Node) ShardServer() *directory.Server { return n.shard }
+
+// applyMap reacts to a newer cluster map from any source — shard server
+// install, client-observed stale bounce, or direct push: cache it for
+// stale checks, propagate it to the other local components (each install
+// is an epoch-guarded no-op once everyone agrees, so the hooks cannot
+// recurse), and start the drain monitor when this node is now draining.
+func (n *Node) applyMap(cm types.ClusterMap) {
+	n.cmapMu.Lock()
+	if cm.Epoch <= n.cmap.Epoch {
+		n.cmapMu.Unlock()
+		return
+	}
+	n.cmap = cm.Clone()
+	n.encodedMap = types.EncodeClusterMap(n.encodedMap[:0], n.cmap)
+	startDrain := false
+	if st, ok := n.cmap.MemberState(n.id); ok && st == types.MemberDraining && !n.drainMon {
+		n.drainMon = true
+		startDrain = true
+	}
+	n.cmapMu.Unlock()
+	n.dir.InstallMap(cm)
+	if n.shard != nil {
+		n.shard.InstallMap(cm)
+	}
+	if startDrain {
+		n.mu.Lock()
+		if !n.closed {
+			n.wg.Add(1)
+			go func() { defer n.wg.Done(); n.drainMonitor() }()
+		}
+		n.mu.Unlock()
+	}
+}
+
+// Drain retires this node gracefully: mark it draining in the cluster
+// map (no new placements, shard replicas hand off, the repair scanner
+// evacuates sole copies), then block until the node has been removed
+// from the map. The node keeps serving reads throughout; callers
+// typically Close it once Drain returns.
+func (n *Node) Drain(ctx context.Context) error {
+	if _, err := n.dir.DrainNode(ctx, n.id); err != nil {
+		return err
+	}
+	// The response map marked us draining; applyMap (via the client's
+	// install hook) started the drain monitor, which finishes the drain
+	// once nothing depends on this node. Wait for our own removal.
+	ticker := time.NewTicker(20 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		cm := n.dir.Map()
+		if cm.Epoch > 0 {
+			if _, ok := cm.MemberState(n.id); !ok {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-n.ctx.Done():
+			return types.ErrClosed
+		case <-ticker.C:
+		}
+	}
+}
+
+// drainMonitor runs on a draining node (started by applyMap, at most
+// once): poll until no shard replica and no sole object copy lives here,
+// then report the drain finished so the membership shard removes us.
+func (n *Node) drainMonitor() {
+	ticker := time.NewTicker(50 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		if !n.drainComplete() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
+		_, err := n.dir.DrainFinished(ctx, n.id)
+		cancel()
+		if err == nil {
+			return
+		}
+	}
+}
+
+// drainComplete reports whether this node can leave without losing data
+// or a shard: it hosts no directory replicas and holds no object's only
+// whole copy.
+func (n *Node) drainComplete() bool {
+	if n.shard != nil && n.shard.HostedReplicas() > 0 {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(n.ctx, 5*time.Second)
+	defer cancel()
+	sole, err := n.dir.SoleCopies(ctx, n.id)
+	return err == nil && sole == 0
 }
 
 // onSendFailure clears a dead receiver's directory lease after the data

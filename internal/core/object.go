@@ -246,6 +246,7 @@ func (n *Node) Delete(ctx context.Context, oid types.ObjectID) error {
 	}
 	n.noteTombstone(oid)
 	n.dropLocEntry(oid)
+	epoch := n.mapEpoch()
 	var firstErr error
 	for _, loc := range locs {
 		if loc.Node == n.id {
@@ -259,8 +260,22 @@ func (n *Node) Delete(ctx context.Context, oid types.ObjectID) error {
 			}
 			continue
 		}
-		if _, err := c.Call(ctx, wire.Message{Method: wire.MethodEvictLocal, OID: oid}); err != nil {
+		resp, err := c.Call(ctx, wire.Message{Method: wire.MethodEvictLocal, OID: oid, Epoch: epoch})
+		if err != nil {
 			n.dropPeer(string(loc.Node), c)
+			continue
+		}
+		if errors.Is(resp.ErrorOf(), types.ErrStaleMap) {
+			// The holder has a newer cluster map than we do: adopt it and
+			// re-issue the eviction with a current stamp so the copy is not
+			// silently left behind.
+			if cm, derr := types.DecodeClusterMap(resp.Payload); derr == nil {
+				n.applyMap(cm)
+			}
+			epoch = n.mapEpoch()
+			if _, err := c.Call(ctx, wire.Message{Method: wire.MethodEvictLocal, OID: oid, Epoch: epoch}); err != nil {
+				n.dropPeer(string(loc.Node), c)
+			}
 		}
 	}
 	n.store.Delete(oid) // cover copies created after the directory snapshot

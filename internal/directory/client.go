@@ -48,14 +48,17 @@ type subscription struct {
 // the committed lease instead of granting a second one); reads spread
 // across the replicas. It is safe for concurrent use.
 type Client struct {
-	self   types.NodeID
-	groups [][]string
-	dial   Dialer
+	self      types.NodeID
+	numShards int // fixed for the cluster's lifetime, even as groups move
+	dial      Dialer
 
 	opSeq atomic.Int64 // per-client mutation sequence for acquire dedupe
 	calls atomic.Int64 // RPC attempts issued to shard replicas
 
 	mu          sync.Mutex
+	groups      [][]string       // per-shard replica addresses; re-derived on map installs
+	cmap        types.ClusterMap // installed cluster map (Epoch 0 = membership disabled)
+	onMap       func(types.ClusterMap)
 	batch       wire.BatchConfig // write batching for shard connections
 	retiredWire wire.BatchStats  // batching counters of closed connections
 	conns       map[string]*wire.Client
@@ -86,15 +89,16 @@ func NewClient(self types.NodeID, shards []string, dial Dialer) *Client {
 // succession order. An object's shard is oid.Shard(len(groups)).
 func NewReplicatedClient(self types.NodeID, groups [][]string, dial Dialer) *Client {
 	c := &Client{
-		self:    self,
-		groups:  groups,
-		dial:    dial,
-		conns:   make(map[string]*wire.Client),
-		primary: make([]int, len(groups)),
-		readAt:  make([]int, len(groups)),
-		done:    make(chan struct{}),
-		subs:    make(map[types.ObjectID][]subscription),
-		subAddr: make(map[types.ObjectID]string),
+		self:      self,
+		numShards: len(groups),
+		groups:    groups,
+		dial:      dial,
+		conns:     make(map[string]*wire.Client),
+		primary:   make([]int, len(groups)),
+		readAt:    make([]int, len(groups)),
+		done:      make(chan struct{}),
+		subs:      make(map[types.ObjectID][]subscription),
+		subAddr:   make(map[types.ObjectID]string),
 	}
 	// Spread read traffic: each client starts its reads at a replica
 	// derived from its own identity instead of hammering the primary.
@@ -147,14 +151,62 @@ func (c *Client) Stats() ClientStats {
 	return st
 }
 
-// NumShards returns the number of directory shards.
-func (c *Client) NumShards() int { return len(c.groups) }
+// NumShards returns the number of directory shards. Shard count is fixed
+// for the cluster's lifetime — membership changes move groups, not shards.
+func (c *Client) NumShards() int { return c.numShards }
 
 // Self returns the node this client acts for.
 func (c *Client) Self() types.NodeID { return c.self }
 
 func (c *Client) shardOf(oid types.ObjectID) int {
-	return oid.Shard(len(c.groups))
+	return oid.Shard(c.numShards)
+}
+
+// OnMap registers fn to run (outside client locks) whenever a newer
+// cluster map is installed. At most one callback; nil clears it.
+func (c *Client) OnMap(fn func(types.ClusterMap)) {
+	c.mu.Lock()
+	c.onMap = fn
+	c.mu.Unlock()
+}
+
+// Map returns the currently installed cluster map (Epoch 0 when
+// membership is disabled or no map has been installed yet).
+func (c *Client) Map() types.ClusterMap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cmap.Clone()
+}
+
+// InstallMap installs a newer cluster map and re-derives the per-shard
+// replica groups used for routing. It reports whether the map was
+// installed: false when it is not newer than the current one, when its
+// shard count does not match this cluster, or when any derived group is
+// empty. Requests routed from here on are stamped with the new epoch.
+func (c *Client) InstallMap(m types.ClusterMap) bool {
+	groups := m.DeriveGroups()
+	if len(groups) != c.numShards {
+		return false
+	}
+	for _, g := range groups {
+		if len(g) == 0 {
+			return false
+		}
+	}
+	c.mu.Lock()
+	if c.closed || m.Epoch <= c.cmap.Epoch {
+		c.mu.Unlock()
+		return false
+	}
+	c.cmap = m.Clone()
+	c.groups = groups
+	onMap := c.onMap
+	cm := c.cmap.Clone()
+	c.mu.Unlock()
+	if onMap != nil {
+		onMap(cm)
+	}
+	return true
 }
 
 func (c *Client) connTo(ctx context.Context, addr string) (*wire.Client, error) {
@@ -356,8 +408,12 @@ func (c *Client) readCall(ctx context.Context, m wire.Message) (wire.Message, st
 // A cycle in which no replica was even dialable fails the call: a live
 // shard always has a dialable replica, so total unreachability means
 // this node is the dead or partitioned side.
+//
+// With membership enabled every request is stamped with the installed
+// map's epoch (a field on a call already being made — no extra round
+// trip). An ErrStaleMap bounce carries the replica's newer map: install
+// it, re-derive the group, and retry against the new topology.
 func (c *Client) route(ctx context.Context, shard int, m wire.Message, read bool) (wire.Message, string, error) {
-	group := c.groups[shard]
 	slot := func() *int {
 		if read {
 			return &c.readAt[shard]
@@ -365,6 +421,8 @@ func (c *Client) route(ctx context.Context, shard int, m wire.Message, read bool
 		return &c.primary[shard]
 	}
 	c.mu.Lock()
+	group := c.groups[shard]
+	m.Epoch = c.cmap.Epoch
 	idx := *slot()
 	c.mu.Unlock()
 	var lastErr error
@@ -385,24 +443,38 @@ func (c *Client) route(ctx context.Context, shard int, m wire.Message, read bool
 			resp, err = wc.Call(ctx, m)
 			if err == nil {
 				rerr := resp.ErrorOf()
-				if !errors.Is(rerr, types.ErrNotPrimary) {
+				switch {
+				case errors.Is(rerr, types.ErrStaleMap):
+					// The replica runs a newer cluster map (or the shard
+					// moved off it). Install the map it handed back and
+					// retry with the re-derived group.
+					if next, derr := types.DecodeClusterMap(resp.Payload); derr == nil {
+						c.InstallMap(next)
+					}
+					c.mu.Lock()
+					group = c.groups[shard]
+					m.Epoch = c.cmap.Epoch
+					c.mu.Unlock()
+					lastErr = rerr
+				case !errors.Is(rerr, types.ErrNotPrimary):
 					c.mu.Lock()
 					*slot() = idx % len(group)
 					c.mu.Unlock()
 					return resp, addr, rerr
-				}
-				// Bounced off a backup (or an out-of-sync replica):
-				// follow its primary hint if it names another replica,
-				// otherwise try the next in order.
-				if hint := string(resp.Node); hint != "" {
-					for j, a := range group {
-						if a == hint && j != idx%len(group) {
-							idx = j - 1 // advanced below
-							break
+				default:
+					// Bounced off a backup (or an out-of-sync replica):
+					// follow its primary hint if it names another replica,
+					// otherwise try the next in order.
+					if hint := string(resp.Node); hint != "" {
+						for j, a := range group {
+							if a == hint && j != idx%len(group) {
+								idx = j - 1 // advanced below
+								break
+							}
 						}
 					}
+					lastErr = rerr
 				}
-				lastErr = rerr
 			} else {
 				if ctx.Err() != nil {
 					return wire.Message{}, "", ctx.Err()
@@ -677,7 +749,7 @@ func (c *Client) RemoveLocation(ctx context.Context, oid types.ObjectID) error {
 // shards; used when a node failure is detected.
 func (c *Client) PurgeNode(ctx context.Context, node types.NodeID) error {
 	var firstErr error
-	for shard := range c.groups {
+	for shard := 0; shard < c.numShards; shard++ {
 		_, err := c.callShard(ctx, shard, wire.Message{
 			Method: wire.MethodPurgeNode,
 			Node:   node,
@@ -688,6 +760,234 @@ func (c *Client) PurgeNode(ctx context.Context, node types.NodeID) error {
 		}
 	}
 	return firstErr
+}
+
+// membershipCall routes a join/drain transition to the membership shard's
+// primary and installs the map the response carries.
+func (c *Client) membershipCall(ctx context.Context, m wire.Message) (types.ClusterMap, error) {
+	m.Num2 = c.opSeq.Add(1)
+	resp, _, err := c.route(ctx, membershipShard, m, false)
+	if err != nil {
+		return types.ClusterMap{}, err
+	}
+	cm, derr := types.DecodeClusterMap(resp.Payload)
+	if derr != nil {
+		return types.ClusterMap{}, derr
+	}
+	c.InstallMap(cm)
+	return cm, nil
+}
+
+// JoinNode registers node in the cluster map on its behalf — a client-side
+// wrapper over the same transition a joining node's own Join performs.
+// Idempotent; useful for re-registering a node that was declared dead by
+// mistake.
+func (c *Client) JoinNode(ctx context.Context, node types.NodeID, shardHost bool) (types.ClusterMap, error) {
+	return c.membershipCall(ctx, wire.Message{Method: wire.MethodJoin, Node: node, Complete: shardHost})
+}
+
+// DrainNode marks node draining: it leaves every shard group, stops being
+// a re-replication target, and the repair scanner starts copying its sole
+// copies out. The node itself leaves the map later via DrainFinished.
+func (c *Client) DrainNode(ctx context.Context, node types.NodeID) (types.ClusterMap, error) {
+	return c.membershipCall(ctx, wire.Message{Method: wire.MethodDrain, Node: node, Num: DrainStart})
+}
+
+// DrainFinished removes a drained node from the map; called by the node
+// itself once it holds no sole copies and hosts no shard replicas.
+func (c *Client) DrainFinished(ctx context.Context, node types.NodeID) (types.ClusterMap, error) {
+	return c.membershipCall(ctx, wire.Message{Method: wire.MethodDrain, Node: node, Num: DrainFinish})
+}
+
+// DeclareDead removes a permanently lost node from the map: its directory
+// locations are purged and the repair scanner restores the replication
+// factor from the surviving copies. Failure detection stays explicit —
+// the paper's socket-liveness model handles transient faults, and only an
+// operator (or test harness) decides a node is truly gone.
+func (c *Client) DeclareDead(ctx context.Context, node types.NodeID) (types.ClusterMap, error) {
+	return c.membershipCall(ctx, wire.Message{Method: wire.MethodDrain, Node: node, Num: DrainDead})
+}
+
+// FetchMap fetches and installs the cluster map from any membership-shard
+// replica.
+func (c *Client) FetchMap(ctx context.Context) (types.ClusterMap, error) {
+	resp, _, err := c.route(ctx, membershipShard, wire.Message{Method: wire.MethodMapGet}, true)
+	if err != nil {
+		return types.ClusterMap{}, err
+	}
+	cm, derr := types.DecodeClusterMap(resp.Payload)
+	if derr != nil {
+		return types.ClusterMap{}, derr
+	}
+	c.InstallMap(cm)
+	return cm, nil
+}
+
+// ShardStatus is one shard's membership observability snapshot, answered
+// by the shard's primary.
+type ShardStatus struct {
+	Shard      int
+	Primary    types.NodeID // replica that answered — the shard's primary
+	Epoch      int64        // shard succession epoch
+	Objects    int          // live entries in the shard
+	Under      int          // entries below the effective replication factor
+	SoleCopies int          // entries whose only active whole copy is on the queried node
+}
+
+// ClusterStatus aggregates every shard's status plus the cluster map.
+type ClusterStatus struct {
+	Map    types.ClusterMap
+	Shards []ShardStatus
+}
+
+// Status queries every shard's primary for membership observability. When
+// node is non-empty, each shard also counts the objects whose only active
+// whole copy sits on it (the drain-safety number).
+func (c *Client) Status(ctx context.Context, node types.NodeID) (ClusterStatus, error) {
+	var st ClusterStatus
+	for shard := 0; shard < c.numShards; shard++ {
+		resp, addr, err := c.route(ctx, shard, wire.Message{
+			Method: wire.MethodStatus,
+			Offset: int64(shard),
+			Node:   node,
+		}, false)
+		if err != nil {
+			return st, err
+		}
+		st.Shards = append(st.Shards, ShardStatus{
+			Shard:      shard,
+			Primary:    types.NodeID(addr),
+			Epoch:      resp.Gen,
+			Objects:    int(resp.Size),
+			Under:      int(resp.Num),
+			SoleCopies: int(resp.Offset),
+		})
+		if st.Map.Epoch == 0 && len(resp.Payload) > 0 {
+			if cm, derr := types.DecodeClusterMap(resp.Payload); derr == nil {
+				st.Map = cm
+				c.InstallMap(cm)
+			}
+		}
+	}
+	return st, nil
+}
+
+// UnderReplicated sums the under-replicated object count across shards.
+func (c *Client) UnderReplicated(ctx context.Context) (int, error) {
+	st, err := c.Status(ctx, "")
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, sh := range st.Shards {
+		n += sh.Under
+	}
+	return n, nil
+}
+
+// SoleCopies sums, across shards, the objects whose only active whole
+// copy sits on node. A draining node waits for zero before leaving.
+func (c *Client) SoleCopies(ctx context.Context, node types.NodeID) (int, error) {
+	st, err := c.Status(ctx, node)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, sh := range st.Shards {
+		n += sh.SoleCopies
+	}
+	return n, nil
+}
+
+// Join dials seed control addresses and asks the cluster's membership
+// primary to add self to the map, returning the map that includes it. It
+// is a free function because the joiner has no directory client yet — the
+// returned map is what it builds one from. ErrNotPrimary hints and
+// ErrStaleMap bounces extend the candidate list, and unreachable seeds
+// are retried until ctx expires, so one reachable seed suffices.
+func Join(ctx context.Context, dial Dialer, seeds []string, self types.NodeID, shardHost bool) (types.ClusterMap, error) {
+	if len(seeds) == 0 {
+		return types.ClusterMap{}, errors.New("directory: join requires at least one seed address")
+	}
+	req := wire.Message{Method: wire.MethodJoin, Node: self, Complete: shardHost}
+	// Never join through our own address: a rejoining node's hint chain can
+	// point back at its previous life (it may have been the membership
+	// primary), and its own half-started listener would swallow the call.
+	var targets []string
+	for _, s := range seeds {
+		if s != string(self) {
+			targets = append(targets, s)
+		}
+	}
+	if len(targets) == 0 {
+		return types.ClusterMap{}, errors.New("directory: join requires a seed other than self")
+	}
+	tried := map[string]bool{string(self): true}
+	var lastErr error
+	for {
+		for i := 0; i < len(targets); i++ {
+			if err := ctx.Err(); err != nil {
+				if lastErr != nil {
+					return types.ClusterMap{}, lastErr
+				}
+				return types.ClusterMap{}, err
+			}
+			addr := targets[i]
+			// Bound each attempt: a dead-ish seed (accepting but not
+			// serving) must cost one attempt window, not the whole join.
+			actx, acancel := context.WithTimeout(ctx, 3*time.Second)
+			nc, err := dial(actx, addr)
+			if err != nil {
+				acancel()
+				lastErr = err
+				continue
+			}
+			wc := wire.NewClient(nc, nil)
+			resp, err := wc.Call(actx, req)
+			wc.Close()
+			acancel()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			rerr := resp.ErrorOf()
+			switch {
+			case rerr == nil:
+				return types.DecodeClusterMap(resp.Payload)
+			case errors.Is(rerr, types.ErrNotPrimary):
+				lastErr = rerr
+				if hint := string(resp.Node); hint != "" && !tried[hint] {
+					tried[hint] = true
+					targets = append(targets, hint)
+				}
+			case errors.Is(rerr, types.ErrStaleMap):
+				// The seed does not host the membership shard; its bounce
+				// carries the map, which names the replicas that do.
+				lastErr = rerr
+				if cm, derr := types.DecodeClusterMap(resp.Payload); derr == nil {
+					groups := cm.DeriveGroups()
+					if len(groups) > membershipShard {
+						for _, a := range groups[membershipShard] {
+							if !tried[a] {
+								tried[a] = true
+								targets = append(targets, a)
+							}
+						}
+					}
+				}
+			default:
+				return types.ClusterMap{}, rerr
+			}
+		}
+		select {
+		case <-time.After(failoverBackoff):
+		case <-ctx.Done():
+			if lastErr != nil {
+				return types.ClusterMap{}, lastErr
+			}
+			return types.ClusterMap{}, ctx.Err()
+		}
+	}
 }
 
 // Close tears down all shard connections.

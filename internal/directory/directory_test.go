@@ -514,6 +514,46 @@ func TestPurgeNode(t *testing.T) {
 	}
 }
 
+// TestPurgeNodeReturnsStripedLeases: striped acquires (AcquireSenders)
+// record no fetch-dependency entry for the receiver, so purging a dead
+// receiver must find its leases by scanning lease holders — otherwise a
+// getter that died between its striped acquire and its release pins the
+// sender busy forever and later blocking acquires park on it (the
+// restart-and-rejoin wedge).
+func TestPurgeNodeReturnsStripedLeases(t *testing.T) {
+	cs := startShard(t, "holder", "ghost", "r")
+	ctx := ctxT(t)
+	oid := types.ObjectIDFromString("x")
+	if err := cs[0].PutStarted(ctx, oid, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs[0].PutComplete(ctx, oid); err != nil {
+		t.Fatal(err)
+	}
+	// ghost takes the only complete copy's lease via the multi-sender
+	// path, then dies without releasing it.
+	ml, err := cs[1].AcquireSenders(ctx, oid, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ml.Senders) != 1 || ml.Senders[0] != "holder" {
+		t.Fatalf("leased %v, want [holder]", ml.Senders)
+	}
+	if _, err := cs[2].AcquireSenders(ctx, oid, 4); !errors.Is(err, types.ErrNoSender) {
+		t.Fatalf("pre-purge acquire got %v, want ErrNoSender", err)
+	}
+	if err := cs[2].PurgeNode(ctx, "ghost"); err != nil {
+		t.Fatal(err)
+	}
+	ml2, err := cs[2].AcquireSenders(ctx, oid, 4)
+	if err != nil {
+		t.Fatalf("post-purge acquire: %v", err)
+	}
+	if len(ml2.Senders) != 1 || ml2.Senders[0] != "holder" {
+		t.Fatalf("post-purge leased %v, want [holder]", ml2.Senders)
+	}
+}
+
 func TestStats(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -73,6 +73,21 @@ type Config struct {
 	// defaults (tests use tighter values).
 	HeartbeatInterval time.Duration
 	LeaseTimeout      time.Duration
+	// InitialMap, when set, enables epoch-versioned membership: Groups
+	// should be the map's DeriveGroups result, stamped requests are
+	// epoch-checked, and membership transitions (join/drain/remove) are
+	// resolved by the membership shard's primary. Nil keeps the legacy
+	// fixed-topology behavior (epoch 0 everywhere, no checks).
+	InitialMap *types.ClusterMap
+	// RepairInterval is the re-replication scanner period (see
+	// membership.go). 0 uses DefaultRepairInterval; negative disables the
+	// scanner. The scanner only runs when membership is enabled and the
+	// map's ObjectRF is positive.
+	RepairInterval time.Duration
+	// OnMap, if non-nil, runs (outside the server lock) after a newer
+	// cluster map is installed — the node embedding this server uses it to
+	// re-point its directory client and propagate the map.
+	OnMap func(types.ClusterMap)
 }
 
 // dedupeKey identifies one client-side acquire attempt: retries reuse the
@@ -88,6 +103,7 @@ type dedupeKey struct {
 type backupState struct {
 	down    bool  // last forward or heartbeat failed; skip until it answers
 	lastSeq int64 // seq the backup reported at the previous heartbeat
+	waiting bool  // backup reported needSync at the previous heartbeat
 }
 
 // replica is one hosted shard replica. All fields are guarded by the
@@ -98,6 +114,7 @@ type replica struct {
 	selfIdx int
 
 	primary     bool
+	retiring    bool       // primary rotated out of the group by a map change: serve as lame duck until a successor is caught up
 	primaryAddr string     // believed current primary ("" when unknown)
 	primaryPeer *wire.Peer // connection the current primary talks over
 	epoch       int64      // succession epoch, bumped on every promotion
@@ -151,30 +168,57 @@ func (r *replica) indexOf(addr string) int {
 	return len(r.group)
 }
 
+// hasPeers reports whether the replica's group names anyone besides self.
+// A retiring primary's group excludes self entirely, so the heartbeat loop
+// cannot use len(group) > 1 to decide whether there is anyone to beat.
+func (r *replica) hasPeers(self string) bool {
+	for _, a := range r.group {
+		if a != self {
+			return true
+		}
+	}
+	return false
+}
+
 // Start launches the replication goroutines: a boot-time state query (so
 // a restarted replica rejoins as a backup instead of split-braining the
-// shard), the primary heartbeat loop, and the backup promotion monitor.
-// It is a no-op for a standalone server.
+// shard), the primary heartbeat loop, the backup promotion monitor, and —
+// when membership is enabled — the re-replication scanner. With membership
+// on, the loops run even when this server hosts no replica yet: map
+// installs create replicas dynamically and the per-tick scans pick them
+// up. It is a no-op for a standalone server.
 func (s *Server) Start() {
 	s.mu.Lock()
 	reps := make([]*replica, 0, len(s.reps))
 	for _, r := range s.reps {
 		reps = append(reps, r)
 	}
+	membership := s.cmap.Epoch > 0
+	repair := membership && s.cfg.RepairInterval >= 0
+	interval := s.cfg.RepairInterval
+	if interval == 0 {
+		interval = DefaultRepairInterval
+	}
 	s.mu.Unlock()
-	if len(reps) == 0 {
+	if len(reps) == 0 && !membership {
 		return
 	}
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		for _, r := range reps {
-			s.bootQuery(r)
-		}
-	}()
+	if len(reps) > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for _, r := range reps {
+				s.bootQuery(r)
+			}
+		}()
+	}
 	s.wg.Add(2)
 	go func() { defer s.wg.Done(); s.heartbeatLoop() }()
 	go func() { defer s.wg.Done(); s.monitorLoop() }()
+	if repair {
+		s.wg.Add(1)
+		go func() { defer s.wg.Done(); s.repairLoop(interval) }()
+	}
 }
 
 // bootQuery asks the other replicas of r's group for their view of the
@@ -643,6 +687,11 @@ func (s *Server) heartbeat(m wire.Message, p *wire.Peer) wire.Message {
 		resp.Err = "directory: shard not hosted here"
 		return resp
 	}
+	// Every heartbeat answer reports this server's cluster-map epoch: the
+	// primary uses it as anti-entropy, pushing (or pulling) the map when
+	// the two sides disagree — a member that missed a map push converges
+	// through the lease traffic that is flowing anyway.
+	resp.Epoch = s.cmap.Epoch
 	if m.Num < 0 {
 		// State query from a booting replica: report, claim nothing.
 		resp.Gen = rep.epoch
@@ -680,7 +729,7 @@ func (s *Server) heartbeatLoop() {
 		s.mu.Lock()
 		var primaries []*replica
 		for _, r := range s.reps {
-			if r.primary && len(r.group) > 1 {
+			if r.primary && r.hasPeers(s.cfg.Self) {
 				primaries = append(primaries, r)
 			}
 		}
@@ -705,6 +754,11 @@ func (s *Server) beatBackups(r *replica) {
 		}
 	}
 	s.mu.Unlock()
+	// Map anti-entropy gathered from heartbeat answers: members behind our
+	// cluster-map epoch get a push, and a member ahead of us is pulled
+	// from, both after the beat loop (no I/O while iterating under s.mu).
+	var mapBehind []string
+	mapAhead := ""
 	for _, addr := range backups {
 		resp, err := s.callReplica(addr, wire.Message{
 			Method:   wire.MethodDirHeartbeat,
@@ -732,9 +786,16 @@ func (s *Server) beatBackups(r *replica) {
 			s.mu.Unlock()
 			return
 		}
+		switch {
+		case s.cmap.Epoch > 0 && resp.Epoch > 0 && resp.Epoch < s.cmap.Epoch:
+			mapBehind = append(mapBehind, addr)
+		case resp.Epoch > s.cmap.Epoch:
+			mapAhead = addr
+		}
 		needSnapshot := resp.Wait
 		if b != nil {
 			b.down = false
+			b.waiting = resp.Wait
 			// Stalled: behind us and no progress since the previous beat.
 			if resp.Num < r.seq && resp.Num == b.lastSeq {
 				needSnapshot = true
@@ -746,6 +807,30 @@ func (s *Server) beatBackups(r *replica) {
 			s.pushSnapshot(r, addr)
 		}
 	}
+	if len(mapBehind) > 0 {
+		s.pushMapAsync(mapBehind)
+	}
+	if mapAhead != "" {
+		s.pullMapFrom(mapAhead)
+	}
+	s.mu.Lock()
+	if r.primary && r.retiring {
+		// Rotated-out lame duck: once any successor in the new group holds
+		// the full history, step out and stop renewing its lease, so lease
+		// expiry promotes it. Parked calls wake, bounce with the current
+		// map, and the client retries against the new group.
+		for _, b := range r.backups {
+			if !b.down && !b.waiting && b.lastSeq == r.seq {
+				r.primary = false
+				if s.reps[r.shard] == r {
+					delete(s.reps, r.shard)
+				}
+				s.wakeShardLocked(r.shard)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
 }
 
 // monitorLoop is the backup side of the lease: when the primary has been
@@ -866,6 +951,13 @@ func (s *Server) pushSnapshot(r *replica, addr string) {
 		}
 	}
 	dedupe := appendSnapshotDedupe(nil, r)
+	var mapSec []byte
+	if r.shard == membershipShard && s.cmap.Epoch > 0 {
+		// The membership shard's snapshot carries the cluster map, so a
+		// resynced replica lands on exactly the epoch its new state was
+		// captured at even if it missed every push.
+		mapSec = append([]byte(nil), s.encodedMap...)
+	}
 	s.mu.Unlock()
 	if len(cur) > 0 || len(chunks) == 0 {
 		chunks = append(chunks, cur)
@@ -879,7 +971,7 @@ func (s *Server) pushSnapshot(r *replica, addr string) {
 			Node:     types.NodeID(s.cfg.Self),
 			Payload:  chunk,
 			Wait:     i == 0,
-			Complete: i == len(chunks)-1 && len(dedupe) == 0,
+			Complete: i == len(chunks)-1 && len(dedupe) == 0 && len(mapSec) == 0,
 		}
 		if resp, err := s.callReplica(addr, m); err != nil || resp.ErrorOf() != nil {
 			return
@@ -894,6 +986,21 @@ func (s *Server) pushSnapshot(r *replica, addr string) {
 			Num2:     1, // dedupe section
 			Node:     types.NodeID(s.cfg.Self),
 			Payload:  dedupe,
+			Complete: len(mapSec) == 0,
+		}
+		if resp, err := s.callReplica(addr, m); err != nil || resp.ErrorOf() != nil {
+			return
+		}
+	}
+	if len(mapSec) > 0 {
+		m := wire.Message{
+			Method:   wire.MethodDirSnapshot,
+			Offset:   int64(r.shard),
+			Gen:      epoch,
+			Num:      seq,
+			Num2:     2, // cluster-map section
+			Node:     types.NodeID(s.cfg.Self),
+			Payload:  mapSec,
 			Complete: true,
 		}
 		_, _ = s.callReplica(addr, m)
@@ -955,9 +1062,18 @@ func (s *Server) snapshot(m wire.Message) wire.Message {
 		}
 	}
 	var err error
-	if m.Num2 == 1 {
+	var mapAfter []func()
+	switch m.Num2 {
+	case 1:
 		err = s.installSnapshotDedupe(rep, m.Payload)
-	} else {
+	case 2:
+		next, derr := types.DecodeClusterMap(m.Payload)
+		if derr != nil {
+			err = derr
+		} else {
+			mapAfter = s.installMapLocked(next)
+		}
+	default:
 		touched, err = s.installSnapshotEntries(m.Payload, touched)
 	}
 	if err != nil {
@@ -994,6 +1110,7 @@ func (s *Server) snapshot(m wire.Message) wire.Message {
 	}
 	resp.Gen = rep.epoch
 	resp.Num = rep.seq
+	notifies = append(notifies, mapAfter...)
 	s.mu.Unlock()
 	for _, fn := range notifies {
 		fn()
@@ -1014,6 +1131,9 @@ func (s *Server) snapshot(m wire.Message) wire.Message {
 // Dedupe section (Num2 == 1):
 //
 //	u32 count + count × (u16 client + u64 seq + framed response message)
+//
+// Cluster-map section (Num2 == 2, membership shard only): one encoded
+// ClusterMap (see types.EncodeClusterMap).
 
 func appendStr16(dst []byte, v string) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(v)))

@@ -91,6 +91,12 @@ type Server struct {
 	reps    map[int]*replica
 	conns   map[string]*wire.Client
 	closed  bool
+	// cmap is the installed cluster map (Epoch 0 = membership disabled).
+	// encodedMap caches its encoding for stale-epoch bounce payloads.
+	cmap       types.ClusterMap
+	encodedMap []byte
+	// repairing tracks in-flight re-replication pulls (see membership.go).
+	repairing map[repairKey]bool
 
 	done chan struct{}
 	once sync.Once
@@ -114,11 +120,16 @@ func NewReplicated(cfg Config) *Server {
 		cfg.LeaseTimeout = DefaultLeaseTimeout
 	}
 	s := &Server{
-		cfg:     cfg,
-		entries: make(map[types.ObjectID]*entry),
-		reps:    make(map[int]*replica),
-		conns:   make(map[string]*wire.Client),
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		entries:   make(map[types.ObjectID]*entry),
+		reps:      make(map[int]*replica),
+		conns:     make(map[string]*wire.Client),
+		repairing: make(map[repairKey]bool),
+		done:      make(chan struct{}),
+	}
+	if cfg.InitialMap != nil {
+		s.cmap = cfg.InitialMap.Clone()
+		s.encodedMap = types.EncodeClusterMap(nil, s.cmap)
 	}
 	for i, group := range cfg.Groups {
 		selfIdx := -1
@@ -234,6 +245,14 @@ func (s *Server) handle(ctx context.Context, m wire.Message, p *wire.Peer) wire.
 		return s.heartbeat(m, p)
 	case wire.MethodDirSnapshot:
 		return s.snapshot(m)
+	case wire.MethodJoin, wire.MethodDrain:
+		return s.membership(m)
+	case wire.MethodMapPush:
+		return s.mapPush(m)
+	case wire.MethodMapGet:
+		return s.mapGet()
+	case wire.MethodStatus:
+		return s.status(m)
 	case wire.MethodPutStarted, wire.MethodPutComplete, wire.MethodPutInline,
 		wire.MethodRelease, wire.MethodAbort, wire.MethodAbortDown,
 		wire.MethodDelete, wire.MethodRemoveLoc, wire.MethodMarkSpilled,
@@ -247,14 +266,18 @@ func (s *Server) handle(ctx context.Context, m wire.Message, p *wire.Peer) wire.
 }
 
 // shardOf returns the shard index a mutation targets: derived from the
-// OID, except PurgeNode (no OID) which carries it in Offset. -1 means
-// standalone mode (no topology).
+// OID, except PurgeNode and Status (no OID) which carry it in Offset, and
+// the membership ops, which always resolve on the membership shard. -1
+// means standalone mode (no topology).
 func (s *Server) shardOf(m *wire.Message) int {
 	if len(s.cfg.Groups) == 0 {
 		return -1
 	}
-	if m.Method == wire.MethodPurgeNode {
+	switch m.Method {
+	case wire.MethodPurgeNode, wire.MethodStatus:
 		return int(m.Offset)
+	case wire.MethodJoin, wire.MethodDrain:
+		return membershipShard
 	}
 	return s.shardOfOID(m.OID)
 }
@@ -268,12 +291,23 @@ func (s *Server) admitLocked(m *wire.Message) (rep *replica, resp wire.Message, 
 		resp.SetError(types.ErrClosed)
 		return nil, resp, false
 	}
+	if s.cmap.Epoch > 0 && m.Epoch > 0 && m.Epoch < s.cmap.Epoch {
+		// The caller derived its routing from an older map; refresh it
+		// instead of executing against a topology it no longer sees.
+		return nil, s.staleMapRespLocked(), false
+	}
 	shard := s.shardOf(m)
 	if shard < 0 {
 		return nil, wire.Message{}, true // standalone: wildcard primary
 	}
 	rep = s.reps[shard]
 	if rep == nil {
+		if s.cmap.Epoch > 0 {
+			// Membership mode: the shard moved away from this server (or
+			// never lived here). Hand the caller the current map so it can
+			// re-derive the group, whatever epoch it stamped.
+			return nil, s.staleMapRespLocked(), false
+		}
 		resp.Err = "directory: shard not hosted here"
 		return nil, resp, false
 	}
@@ -292,8 +326,14 @@ func (s *Server) admitLocked(m *wire.Message) (rep *replica, resp wire.Message, 
 
 // readRedirectLocked gates reads: backups serve them from replicated
 // state, but an out-of-sync replica (restarted, or mid-takeover) must
-// bounce the reader to a replica with authoritative state.
-func (s *Server) readRedirectLocked(oid types.ObjectID) (wire.Message, bool) {
+// bounce the reader to a replica with authoritative state, and a reader
+// stamping an older map epoch gets the current map — its routing may
+// place this shard on a different group entirely.
+func (s *Server) readRedirectLocked(m *wire.Message) (wire.Message, bool) {
+	if s.cmap.Epoch > 0 && m.Epoch > 0 && m.Epoch < s.cmap.Epoch {
+		return s.staleMapRespLocked(), true
+	}
+	oid := m.OID
 	shard := s.shardOfOID(oid)
 	if shard < 0 {
 		return wire.Message{}, false
@@ -301,10 +341,16 @@ func (s *Server) readRedirectLocked(oid types.ObjectID) (wire.Message, bool) {
 	var resp wire.Message
 	rep := s.reps[shard]
 	if rep == nil {
+		if s.cmap.Epoch > 0 {
+			return s.staleMapRespLocked(), true
+		}
 		resp.Err = "directory: shard not hosted here"
 		return resp, true
 	}
-	if rep.needSync {
+	if rep.needSync || (!rep.booted && !rep.primary) {
+		// Out of sync, or the boot query hasn't yet established whether
+		// the shard has history elsewhere (a joiner's empty replica must
+		// not answer ErrNotFound for entries the incumbents hold).
 		resp.SetError(types.ErrNotPrimary)
 		resp.Node = types.NodeID(rep.primaryAddr)
 		return resp, true
@@ -527,6 +573,24 @@ func (s *Server) applyLocked(m wire.Message) (resp wire.Message, mutated bool, n
 	case wire.MethodPurgeNode:
 		return s.applyPurgeLocked(m)
 
+	case wire.MethodMapPush:
+		// The replicated membership op: the membership primary resolved a
+		// transition and ships the whole resulting map through the shard's
+		// op log, so backups (and promoted successors replaying the tail)
+		// install exactly the state the primary acknowledged.
+		next, err := types.DecodeClusterMap(m.Payload)
+		if err != nil {
+			resp.SetError(err)
+			return resp, false, nil
+		}
+		after := s.installMapLocked(next)
+		resp.Epoch = s.cmap.Epoch
+		return resp, true, func() {
+			for _, fn := range after {
+				fn()
+			}
+		}
+
 	default:
 		resp.Err = "directory: unknown replicated op"
 		return resp, false, nil
@@ -551,6 +615,17 @@ func (s *Server) applyPurgeLocked(m wire.Message) (wire.Message, bool, func()) {
 		if _, ok := e.leasedTo[node]; ok {
 			delete(e.leasedTo, node)
 			touched = true
+		}
+		// Leases the failed node held as a receiver. Multi-sender acquires
+		// record no deps entry (see MethodAcquireMany), so the deps lookup
+		// below cannot find them: scan by receiver instead, or a getter
+		// that died between its striped acquire and its release pins the
+		// sender busy forever and later blocking acquires park on it.
+		for sender, recv := range e.leasedTo {
+			if recv == node {
+				delete(e.leasedTo, sender)
+				touched = true
+			}
 		}
 		if up, ok := e.deps[node]; ok {
 			// The failed node was fetching from up; return up's lease.
@@ -799,7 +874,7 @@ func (s *Server) acquireMany(m wire.Message) wire.Message {
 func (s *Server) lookup(ctx context.Context, m wire.Message) wire.Message {
 	for {
 		s.mu.Lock()
-		if redirect, ok := s.readRedirectLocked(m.OID); ok {
+		if redirect, ok := s.readRedirectLocked(&m); ok {
 			s.mu.Unlock()
 			return redirect
 		}
@@ -840,7 +915,7 @@ func (s *Server) lookup(ctx context.Context, m wire.Message) wire.Message {
 
 func (s *Server) subscribe(m wire.Message, p *wire.Peer) wire.Message {
 	s.mu.Lock()
-	if redirect, ok := s.readRedirectLocked(m.OID); ok {
+	if redirect, ok := s.readRedirectLocked(&m); ok {
 		s.mu.Unlock()
 		return redirect
 	}

@@ -94,6 +94,7 @@ type shapedNode struct {
 	ingress *bucket
 
 	mu        sync.Mutex
+	latency   time.Duration
 	killed    bool
 	conns     map[net.Conn]struct{}
 	listeners map[net.Listener]struct{}
@@ -108,12 +109,21 @@ func (e *Emulated) node(name string) *shapedNode {
 			name:      name,
 			egress:    newBucket(e.cfg.BytesPerSec, e.cfg.Burst),
 			ingress:   newBucket(e.cfg.BytesPerSec, e.cfg.Burst),
+			latency:   e.cfg.Latency,
 			conns:     make(map[net.Conn]struct{}),
 			listeners: make(map[net.Listener]struct{}),
 		}
 		e.nodes[name] = n
 	}
 	return n
+}
+
+// lat returns the node's one-way latency; per-node overrides (AddNode)
+// take effect on connections opened afterwards.
+func (n *shapedNode) lat() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.latency
 }
 
 func (n *shapedNode) register(c net.Conn) error {
@@ -174,12 +184,40 @@ func (e *Emulated) Dial(ctx context.Context, node, addr string) (net.Conn, error
 	if err != nil {
 		return nil, err
 	}
-	sc := newShapedConn(c, sn, e.cfg.Latency)
+	sc := newShapedConn(c, sn, sn.lat())
 	if err := sn.register(sc); err != nil {
 		c.Close()
 		return nil, err
 	}
 	return sc, nil
+}
+
+// AddNode pre-registers a node with its own link shaping, overriding the
+// fabric-wide LinkConfig: a late joiner added to a running cluster comes
+// up already capped instead of inheriting the defaults. Re-shaping an
+// existing node is allowed; bandwidth changes apply to live connections,
+// the latency override to connections opened afterwards.
+func (e *Emulated) AddNode(name string, cfg LinkConfig) {
+	burst := cfg.Burst
+	if burst <= 0 {
+		burst = 256 << 10
+	}
+	sn := e.node(name)
+	sn.egress.setRate(cfg.BytesPerSec, burst)
+	sn.ingress.setRate(cfg.BytesPerSec, burst)
+	sn.mu.Lock()
+	sn.latency = cfg.Latency
+	sn.mu.Unlock()
+}
+
+// RemoveNode kills the node and forgets its shaping state entirely: a
+// future Listen/Dial under the same name starts a fresh node with the
+// fabric-wide defaults (unlike Kill/Revive, which preserve overrides).
+func (e *Emulated) RemoveNode(name string) {
+	e.Kill(name)
+	e.mu.Lock()
+	delete(e.nodes, name)
+	e.mu.Unlock()
 }
 
 // Kill abruptly disconnects a node: all of its connections and listeners
@@ -259,7 +297,7 @@ func (l *shapedListener) Accept() (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	sc := newShapedConn(c, l.node, l.fab.cfg.Latency)
+	sc := newShapedConn(c, l.node, l.node.lat())
 	if err := l.node.register(sc); err != nil {
 		c.Close()
 		return nil, err

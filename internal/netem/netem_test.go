@@ -202,3 +202,110 @@ func TestDialKilledTargetFails(t *testing.T) {
 		conn.Close()
 	}
 }
+
+// measureRTT echoes a small payload through conn and returns the average
+// round-trip over a few iterations.
+func measureRTT(t *testing.T, conn net.Conn) time.Duration {
+	t.Helper()
+	buf := make([]byte, 8)
+	conn.Write(buf)
+	io.ReadFull(conn, buf) // warm
+	t0 := time.Now()
+	const iters = 5
+	for i := 0; i < iters; i++ {
+		conn.Write(buf)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return time.Since(t0) / iters
+}
+
+func TestAddNodeShapesLateJoiner(t *testing.T) {
+	// The fabric default is an uncapped, zero-latency link; a node added
+	// to the running fabric with AddNode comes up with its own caps.
+	em := NewEmulated(LinkConfig{})
+	defer em.Close()
+	ln := echoServer(t, em, "sink")
+
+	const bw = 8 << 20 // 8 MB/s
+	em.AddNode("late", LinkConfig{Latency: 2 * time.Millisecond, BytesPerSec: bw})
+
+	fast, err := em.Dial(context.Background(), "old", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	slow, err := em.Dial(context.Background(), "late", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+
+	if rtt := measureRTT(t, fast); rtt > 2*time.Millisecond {
+		t.Fatalf("default node rtt %v, want sub-millisecond loopback", rtt)
+	}
+	// Latency shapes data received by the node, so only the echoed reply
+	// into "late" is delayed (the uncapped sink receives instantly): the
+	// RTT is ≈2ms one-way.
+	if rtt := measureRTT(t, slow); rtt < 3*time.Millisecond/2 || rtt > 20*time.Millisecond {
+		t.Fatalf("late joiner rtt %v, want ≈2ms", rtt)
+	}
+
+	// Bandwidth cap: pushing 2 MB through an 8 MB/s link takes ≈0.25s;
+	// the uncapped node moves the same payload orders of magnitude faster.
+	payload := make([]byte, 2<<20)
+	send := func(conn net.Conn) time.Duration {
+		done := make(chan struct{})
+		go func() {
+			io.CopyN(io.Discard, conn, int64(len(payload)))
+			close(done)
+		}()
+		t0 := time.Now()
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		return time.Since(t0)
+	}
+	if d := send(slow); d < 150*time.Millisecond {
+		t.Fatalf("capped late joiner moved 2MB in %v, want ≈250ms", d)
+	}
+}
+
+func TestRemoveNodeForgetsState(t *testing.T) {
+	em := NewEmulated(LinkConfig{})
+	defer em.Close()
+	ln := echoServer(t, em, "sink")
+
+	em.AddNode("gone", LinkConfig{Latency: 5 * time.Millisecond})
+	conn, err := em.Dial(context.Background(), "gone", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("x"))
+	buf := make([]byte, 1)
+	io.ReadFull(conn, buf)
+
+	em.RemoveNode("gone")
+	// Existing connections break, like Kill.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	conn.Write(make([]byte, 1))
+	if _, err := io.ReadFull(conn, buf); err == nil {
+		t.Fatal("connection survived RemoveNode")
+	}
+	// Unlike Kill, the name is forgotten rather than left dead: a fresh
+	// node under the same name starts immediately with fabric defaults.
+	fresh, err := em.Dial(context.Background(), "gone", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial after RemoveNode: %v", err)
+	}
+	defer fresh.Close()
+	if rtt := measureRTT(t, fresh); rtt > 2*time.Millisecond {
+		t.Fatalf("re-created node rtt %v, want fabric default (no 10ms override)", rtt)
+	}
+	if _, err := em.Listen("gone"); err != nil {
+		t.Fatalf("Listen after RemoveNode: %v", err)
+	}
+}

@@ -1,0 +1,292 @@
+package types
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// boot builds the map a 4-node cluster would start with: 3 shard hosts
+// plus one storage-only member, epoch 1.
+func boot() ClusterMap {
+	return ClusterMap{
+		Epoch:     1,
+		NumShards: 4,
+		DirRF:     2,
+		ObjectRF:  2,
+		Members: []Member{
+			{Addr: "a:1", State: MemberActive, ShardHost: true},
+			{Addr: "b:1", State: MemberActive, ShardHost: true},
+			{Addr: "c:1", State: MemberActive, ShardHost: true},
+			{Addr: "d:1", State: MemberActive, ShardHost: false},
+		},
+	}
+}
+
+func TestClusterMapTransitions(t *testing.T) {
+	drained := func(m ClusterMap, addr NodeID) ClusterMap {
+		out, err := m.WithDrain(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	for _, tc := range []struct {
+		name      string
+		apply     func(ClusterMap) (ClusterMap, error)
+		wantEpoch int64 // 0 means "unchanged from input"
+		wantErr   error
+		check     func(t *testing.T, m ClusterMap)
+	}{
+		{
+			name:      "join new shard host",
+			apply:     func(m ClusterMap) (ClusterMap, error) { return m.WithJoin("e:1", true) },
+			wantEpoch: 2,
+			check: func(t *testing.T, m ClusterMap) {
+				if i := m.MemberIndex("e:1"); i != 4 {
+					t.Fatalf("joiner at index %d, want appended last", i)
+				}
+				if !m.Members[4].ShardHost || m.Members[4].State != MemberActive {
+					t.Fatalf("joiner role wrong: %+v", m.Members[4])
+				}
+			},
+		},
+		{
+			name:      "join is idempotent",
+			apply:     func(m ClusterMap) (ClusterMap, error) { return m.WithJoin("a:1", true) },
+			wantEpoch: 0, // no epoch burned on a retried join
+		},
+		{
+			name: "rejoin of draining member reactivates",
+			apply: func(m ClusterMap) (ClusterMap, error) {
+				return drained(m, "b:1").WithJoin("b:1", true)
+			},
+			wantEpoch: 3,
+			check: func(t *testing.T, m ClusterMap) {
+				if s, _ := m.MemberState("b:1"); s != MemberActive {
+					t.Fatalf("state %v, want active", s)
+				}
+			},
+		},
+		{
+			name:      "drain",
+			apply:     func(m ClusterMap) (ClusterMap, error) { return m.WithDrain("b:1") },
+			wantEpoch: 2,
+			check: func(t *testing.T, m ClusterMap) {
+				if s, _ := m.MemberState("b:1"); s != MemberDraining {
+					t.Fatalf("state %v, want draining", s)
+				}
+				if !m.ActiveHolder("a:1") || m.ActiveHolder("b:1") {
+					t.Fatal("ActiveHolder must exclude draining members")
+				}
+			},
+		},
+		{
+			name:      "drain is idempotent",
+			apply:     func(m ClusterMap) (ClusterMap, error) { return drained(m, "b:1").WithDrain("b:1") },
+			wantEpoch: 2,
+		},
+		{
+			name:    "drain unknown member",
+			apply:   func(m ClusterMap) (ClusterMap, error) { return m.WithDrain("zz:1") },
+			wantErr: ErrUnknownMember,
+		},
+		{
+			name: "drain last shard host refused",
+			apply: func(m ClusterMap) (ClusterMap, error) {
+				return drained(drained(m, "a:1"), "b:1").WithDrain("c:1")
+			},
+			wantErr: ErrLastShardHost,
+		},
+		{
+			name:      "remove after drain",
+			apply:     func(m ClusterMap) (ClusterMap, error) { return drained(m, "b:1").WithRemove("b:1") },
+			wantEpoch: 3,
+			check: func(t *testing.T, m ClusterMap) {
+				if m.MemberIndex("b:1") >= 0 {
+					t.Fatal("member still present after remove")
+				}
+				if len(m.Members) != 3 {
+					t.Fatalf("member count %d, want 3", len(m.Members))
+				}
+			},
+		},
+		{
+			name:      "remove active member directly (declared dead)",
+			apply:     func(m ClusterMap) (ClusterMap, error) { return m.WithRemove("c:1") },
+			wantEpoch: 2,
+		},
+		{
+			name:      "remove non-member is idempotent",
+			apply:     func(m ClusterMap) (ClusterMap, error) { return m.WithRemove("zz:1") },
+			wantEpoch: 0,
+		},
+		{
+			name: "remove last shard host refused",
+			apply: func(m ClusterMap) (ClusterMap, error) {
+				m2, err := m.WithRemove("a:1")
+				if err != nil {
+					return m2, err
+				}
+				m2, err = m2.WithRemove("b:1")
+				if err != nil {
+					return m2, err
+				}
+				return m2.WithRemove("c:1")
+			},
+			wantErr: ErrLastShardHost,
+		},
+		{
+			name:      "remove storage-only member never refused",
+			apply:     func(m ClusterMap) (ClusterMap, error) { return m.WithRemove("d:1") },
+			wantEpoch: 2,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := boot()
+			got, err := tc.apply(in)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := tc.wantEpoch
+			if want == 0 {
+				want = got.Epoch // "unchanged" cases assert no bump below
+			}
+			if got.Epoch != want {
+				t.Fatalf("epoch %d, want %d", got.Epoch, want)
+			}
+			if tc.wantEpoch == 0 && got.Epoch != in.Epoch {
+				t.Fatalf("epoch bumped to %d on a no-op transition", got.Epoch)
+			}
+			// Transitions must never mutate their input.
+			if !reflect.DeepEqual(in, boot()) {
+				t.Fatal("transition mutated its input map")
+			}
+			if tc.check != nil {
+				tc.check(t, got)
+			}
+		})
+	}
+}
+
+// The derived shard groups at epoch 1 must reproduce the static layout
+// (group i = hosts[(i+j)%n]) the cluster booted with, and reshuffle
+// deterministically as members come and go.
+func TestDeriveGroups(t *testing.T) {
+	m := boot()
+	got := m.DeriveGroups()
+	want := [][]string{
+		{"a:1", "b:1"},
+		{"b:1", "c:1"},
+		{"c:1", "a:1"},
+		{"a:1", "b:1"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("boot groups %v, want %v", got, want)
+	}
+
+	// A joiner lands at the end of the host ring: existing primaries
+	// (group[0]) keep their positions, only wrap-around groups change.
+	j, err := m.WithJoin("e:1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = j.DeriveGroups()
+	want = [][]string{
+		{"a:1", "b:1"},
+		{"b:1", "c:1"},
+		{"c:1", "e:1"},
+		{"e:1", "a:1"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-join groups %v, want %v", got, want)
+	}
+	for i := range want[:3] {
+		if got[i][0] != want[i][0] {
+			t.Fatalf("join moved primary of shard %d", i)
+		}
+	}
+
+	// Draining a host removes it from every group.
+	d, err := m.WithDrain("b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range d.DeriveGroups() {
+		for _, n := range g {
+			if n == "b:1" {
+				t.Fatalf("draining member still in group %d: %v", i, g)
+			}
+		}
+	}
+
+	// DirRF clamps to the live host count.
+	two := ClusterMap{NumShards: 2, DirRF: 3, Members: []Member{
+		{Addr: "a:1", State: MemberActive, ShardHost: true},
+		{Addr: "b:1", State: MemberActive, ShardHost: true},
+	}}
+	for _, g := range two.DeriveGroups() {
+		if len(g) != 2 {
+			t.Fatalf("group %v, want width clamped to 2", g)
+		}
+	}
+
+	// No hosts at all yields empty groups rather than panicking.
+	none := ClusterMap{NumShards: 2, DirRF: 2}
+	for _, g := range none.DeriveGroups() {
+		if len(g) != 0 {
+			t.Fatalf("unexpected group %v for empty membership", g)
+		}
+	}
+}
+
+func TestClusterMapEncodeDecode(t *testing.T) {
+	for _, m := range []ClusterMap{
+		{},
+		boot(),
+		{Epoch: 99, NumShards: 1, DirRF: 1, ObjectRF: 0, Members: []Member{
+			{Addr: "only:1", State: MemberDraining, ShardHost: true},
+		}},
+	} {
+		b := EncodeClusterMap(nil, m)
+		got, err := DecodeClusterMap(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm := func(m ClusterMap) ClusterMap {
+			if len(m.Members) == 0 {
+				m.Members = nil
+			}
+			return m
+		}
+		if !reflect.DeepEqual(norm(got), norm(m)) {
+			t.Fatalf("round trip mismatch\nsent %+v\ngot  %+v", m, got)
+		}
+	}
+	// Corrupt encodings must error, not panic or over-allocate.
+	good := EncodeClusterMap(nil, boot())
+	for _, b := range [][]byte{
+		nil,
+		good[:5],
+		good[:len(good)-1],
+		append(append([]byte{}, good...), 0xFF),
+		{0xEE}, // unknown version
+	} {
+		if _, err := DecodeClusterMap(b); err == nil {
+			t.Fatalf("corrupt encoding %x accepted", b)
+		}
+	}
+	// A huge member count with a tiny body must be rejected before the
+	// decoder allocates.
+	huge := append([]byte{}, good[:21]...)
+	huge = append(huge, 0x7F, 0xFF, 0xFF, 0xFF)
+	if _, err := DecodeClusterMap(huge); err == nil {
+		t.Fatal("huge member count accepted")
+	}
+}

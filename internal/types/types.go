@@ -159,4 +159,9 @@ var (
 	// replica that is not the shard's current primary; the caller should
 	// retry against the next replica in succession order.
 	ErrNotPrimary = errors.New("not the shard primary")
+	// ErrStaleMap reports that a request was stamped with a cluster-map
+	// epoch older than the receiver's. The response carries the receiver's
+	// current encoded ClusterMap in its payload; the caller should install
+	// it and retry against the re-derived topology.
+	ErrStaleMap = errors.New("stale cluster map")
 )

@@ -18,7 +18,7 @@
 //	u64  id
 //	[20] oid
 //	[20] target
-//	u64  size, offset, num, num2, gen (5 × u64, two's complement)
+//	u64  size, offset, num, num2, gen, epoch (6 × u64, two's complement)
 //	u16  node len      + bytes
 //	u16  sender len    + bytes
 //	u16  err len       + bytes
@@ -61,7 +61,7 @@ const (
 	boolComplete = 1 << 0
 	boolWait     = 1 << 1
 
-	fixedBodySize = 5 + 8 + 2*types.ObjectIDSize + 5*8
+	fixedBodySize = 5 + 8 + 2*types.ObjectIDSize + 6*8
 )
 
 // encodedBodySize returns the exact body size of m's frame.
@@ -116,6 +116,7 @@ func AppendMessage(dst []byte, m *Message) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Num))
 	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Num2))
 	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Gen))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Epoch))
 	dst = appendString16(dst, string(m.Node))
 	dst = appendString16(dst, string(m.Sender))
 	dst = appendString16(dst, m.Err)
@@ -250,6 +251,7 @@ func UnmarshalMessage(body []byte, m *Message) error {
 	m.Num = int64(r.u64())
 	m.Num2 = int64(r.u64())
 	m.Gen = int64(r.u64())
+	m.Epoch = int64(r.u64())
 	m.Node = r.nodeID16()
 	m.Sender = r.nodeID16()
 	m.Err = r.string16()

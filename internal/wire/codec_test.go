@@ -67,6 +67,12 @@ func sampleMessages() []Message {
 		{Method: MethodReplicate, ID: 19, OID: oid, Node: "n1:1", Num: 7, Gen: 1},
 		{Method: MethodDirHeartbeat, ID: 20, Num: 8},
 		{Method: MethodDirSnapshot, ID: 21, Payload: []byte{1, 2, 3}, Num: 9},
+		{Method: MethodJoin, ID: 22, Node: "new:1", Complete: true, Epoch: 3},
+		{Method: MethodDrain, ID: 23, Node: "old:1", Num: 1, Epoch: 3},
+		{Method: MethodMapPush, ID: 24, Payload: []byte{4, 5, 6}, Epoch: 4},
+		{Method: MethodMapGet, ID: 25, Epoch: 2},
+		{Method: MethodRepairPull, ID: 26, OID: oid, Epoch: 4},
+		{Method: MethodStatus, ID: 27, Node: "n1:1", Epoch: 4},
 	}
 }
 

@@ -64,6 +64,14 @@ const (
 	MethodReplicate    // primary → backup: one sequenced shard op log entry
 	MethodDirHeartbeat // primary → backup lease heartbeat (also the boot-time state query)
 	MethodDirSnapshot  // primary → backup: full shard state push (resync)
+
+	// Cluster membership (epoch-versioned cluster map).
+	MethodJoin       // node → membership primary: add me; response payload carries the new map
+	MethodDrain      // Num selects: 0 start draining Node, 1 drain finished (remove), 2 declare Node dead (remove + purge)
+	MethodMapPush    // encoded ClusterMap in Payload: install if newer (also the replicated membership op)
+	MethodMapGet     // fetch the current encoded ClusterMap
+	MethodRepairPull // repair scanner → node: fetch a complete copy of OID to restore replication
+	MethodStatus     // membership observability: map epoch, shard roles, under-replicated / sole-copy counts
 )
 
 // Flags for Message.Flags.
@@ -81,16 +89,21 @@ type Message struct {
 	Flags  uint8
 	Method Method
 
-	OID      types.ObjectID
-	Target   types.ObjectID
-	Sources  []types.ObjectID
-	Node     types.NodeID
-	Sender   types.NodeID
-	Size     int64
-	Offset   int64
-	Num      int64
-	Num2     int64
-	Gen      int64
+	OID     types.ObjectID
+	Target  types.ObjectID
+	Sources []types.ObjectID
+	Node    types.NodeID
+	Sender  types.NodeID
+	Size    int64
+	Offset  int64
+	Num     int64
+	Num2    int64
+	Gen     int64
+	// Epoch stamps the sender's cluster-map epoch on membership-aware
+	// requests. 0 means unstamped (legacy fixed-topology peers); a
+	// receiver holding a newer map bounces stamped requests with
+	// ErrStaleMap and its encoded map in the response payload.
+	Epoch    int64
 	Complete bool
 	Wait     bool
 	Payload  []byte
@@ -124,6 +137,8 @@ func (m *Message) ErrorOf() error {
 		return types.ErrClosed
 	case types.ErrNotPrimary.Error():
 		return types.ErrNotPrimary
+	case types.ErrStaleMap.Error():
+		return types.ErrStaleMap
 	default:
 		return errors.New(m.Err)
 	}
