@@ -368,10 +368,11 @@ func BenchmarkReduce8Nodes4MB(b *testing.B) {
 // bandwidth caps. Senders are capped at 32 MB/s egress while the receiver
 // has a fat ingress link, so the single-source fetch is sender-bound and
 // the striped fetch aggregates the copies' bandwidth: sources=4 should
-// beat sources=1 by roughly the source count.
+// beat sources=1 by roughly the source count. The sweep over source
+// counts shows the aggregation scaling (and where it saturates).
 func BenchmarkStripedGet(b *testing.B) {
 	const size = 32 << 20
-	for _, srcs := range []int{1, 4} {
+	for _, srcs := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("sources=%d", srcs), func(b *testing.B) {
 			c, err := hoplite.StartLocalCluster(6, hoplite.Options{
 				Emulate: &netem.LinkConfig{

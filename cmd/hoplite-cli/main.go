@@ -23,6 +23,17 @@
 //
 //	hoplite-cli -shards 10.0.0.1:7077 load -keys 256 -value-size 1024 -concurrency 32 -duration 10s
 //
+// load -mixed runs a saturating bulk pull stream alongside a cold
+// small-Get loop against one sender and reports both tails — the
+// egress-scheduling fairness demo (compare -sched-classes 1 vs the
+// default 2):
+//
+//	hoplite-cli -shards 10.0.0.1:7077 load -mixed -bulk-size 67108864 -duration 10s
+//
+// status also prints each member's link-state table: the per-peer RTT and
+// bandwidth estimates (seeded from the configured priors) that the
+// transfer planner ranks senders and shapes reduce trees with.
+//
 // The CLI starts an ephemeral client node that joins the cluster for the
 // duration of the command.
 package main
@@ -52,7 +63,7 @@ func main() {
 	args := flag.Args()
 	noKey := map[string]bool{"load": true, "status": true}
 	if *shards == "" || len(args) < 1 || (!noKey[args[0]] && len(args) < 2) {
-		fmt.Fprintln(os.Stderr, "usage: hoplite-cli -shards HOST:PORT[,...] [-replication R] {put KEY FILE | get KEY FILE | stat KEY | delete KEY | status | join ADDR [storage-only] | drain ADDR | load [-keys N] [-value-size B] [-concurrency C] [-duration D]}")
+		fmt.Fprintln(os.Stderr, "usage: hoplite-cli -shards HOST:PORT[,...] [-replication R] {put KEY FILE | get KEY FILE | stat KEY | delete KEY | status | join ADDR [storage-only] | drain ADDR | load [-keys N] [-value-size B] [-concurrency C] [-duration D] [-mixed [-bulk-size B] [-sched-classes N]]}")
 		os.Exit(2)
 	}
 	var shardList []string
@@ -82,25 +93,37 @@ func main() {
 		mcancel()
 	}
 
-	node, err := hoplite.NewNode(hoplite.Config{
-		Fabric:            fab,
-		DirectoryShards:   shardList,
-		DirectoryTopology: topology,
-		InitialMap:        initialMap,
-	})
+	// Every ephemeral client node this command starts goes through one
+	// factory so they share the fabric, shard topology, and fetched map;
+	// mod lets a caller adjust the config (load -mixed disables inlining
+	// on its putter so small objects traverse the data plane).
+	newNode := func(mod func(*hoplite.Config)) (*hoplite.Node, error) {
+		cfg := hoplite.Config{
+			Fabric:            fab,
+			DirectoryShards:   shardList,
+			DirectoryTopology: topology,
+			InitialMap:        initialMap,
+		}
+		if mod != nil {
+			mod(&cfg)
+		}
+		return hoplite.NewNode(cfg)
+	}
+
+	if args[0] == "load" {
+		if err := runLoad(newNode, args[1:]); err != nil {
+			log.Fatalf("load: %v", err)
+		}
+		return
+	}
+
+	node, err := newNode(nil)
 	if err != nil {
 		log.Fatalf("join cluster: %v", err)
 	}
 	defer node.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-
-	if args[0] == "load" {
-		if err := runLoad(node, args[1:]); err != nil {
-			log.Fatalf("load: %v", err)
-		}
-		return
-	}
 	switch args[0] {
 	case "status":
 		if err := runStatus(ctx, node); err != nil {
@@ -214,7 +237,42 @@ func runStatus(ctx context.Context, node *hoplite.Node) error {
 		fmt.Printf("  %s  %s  %s\n", m.Addr, m.State, role)
 	}
 	fmt.Printf("objects: %d tracked, %d under-replicated\n", total, under)
+	// Each member's link-state table: its per-peer RTT/bandwidth estimates,
+	// seeded from the configured priors and converging as data-plane pulls
+	// and control round-trips feed the estimators.
+	for _, m := range cm.Members {
+		rows, err := node.PeerLinkState(ctx, m.Addr)
+		if err != nil {
+			fmt.Printf("link state @ %s: unavailable (%v)\n", m.Addr, err)
+			continue
+		}
+		fmt.Printf("link state @ %s:\n", m.Addr)
+		fmt.Printf("  %-28s %-10s %12s %12s %10s %8s\n", "peer", "locality", "rtt", "bandwidth", "age", "samples")
+		for _, r := range rows {
+			age := "prior"
+			if r.Measured {
+				age = r.Age.Truncate(time.Millisecond).String()
+			}
+			fmt.Printf("  %-28s %-10s %12s %12s %10s %8d\n",
+				r.Peer, r.Locality, r.RTT.Truncate(time.Microsecond), fmtBW(r.Bandwidth), age, r.Samples)
+		}
+	}
 	return nil
+}
+
+// fmtBW renders a bytes/second estimate at a human scale.
+func fmtBW(bps float64) string {
+	switch {
+	case bps <= 0:
+		return "-"
+	case bps >= 1<<30:
+		return fmt.Sprintf("%.1fGiB/s", bps/(1<<30))
+	case bps >= 1<<20:
+		return fmt.Sprintf("%.1fMiB/s", bps/(1<<20))
+	case bps >= 1<<10:
+		return fmt.Sprintf("%.1fKiB/s", bps/(1<<10))
+	}
+	return fmt.Sprintf("%.0fB/s", bps)
 }
 
 // runDrain starts a graceful drain of addr and waits until the node has
@@ -252,19 +310,40 @@ func runDrain(ctx context.Context, node *hoplite.Node, addr hoplite.NodeID) erro
 // runLoad drives a closed-loop small-object workload: -keys objects of
 // -value-size bytes are put once, then -concurrency workers issue random
 // Gets against them for -duration, and the loop reports aggregate ops/sec
-// plus client-side latency percentiles.
-func runLoad(node *hoplite.Node, argv []string) error {
+// plus client-side latency percentiles. With -mixed it instead runs a
+// saturating bulk pull stream alongside a cold small-Get loop and reports
+// both tails — the egress-scheduling fairness demo.
+func runLoad(newNode nodeFactory, argv []string) error {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
-	keys := fs.Int("keys", 64, "number of distinct objects in the working set")
+	keys := fs.Int("keys", 64, "number of distinct objects in the working set (with -mixed: the cold-Get pool; the run ends early when exhausted)")
 	valueSize := fs.Int("value-size", 1024, "object size in bytes")
 	concurrency := fs.Int("concurrency", 16, "concurrent closed-loop workers")
 	duration := fs.Duration("duration", 10*time.Second, "measurement duration")
+	mixed := fs.Bool("mixed", false, "mixed workload: a bulk pull stream saturating one sender plus a closed loop of cold small Gets, both tails reported")
+	bulkSize := fs.Int64("bulk-size", 64<<20, "bulk object size in bytes (with -mixed)")
+	schedClasses := fs.Int("sched-classes", 0, "egress scheduler classes on the sender (with -mixed): 0/2 = default fair scheduling, 1 = scheduling off, for comparison")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
 	if *keys < 1 || *valueSize < 0 || *concurrency < 1 {
 		return fmt.Errorf("invalid load parameters")
 	}
+	if *mixed {
+		// A repeat Get would be a warm local hit on the getter, so the
+		// mixed pool is got-once; default it large enough to cover the run.
+		explicit := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["keys"] {
+			*keys = 4096
+		}
+		return runMixedLoad(newNode, *keys, *valueSize, *concurrency, *duration, *bulkSize, *schedClasses)
+	}
+
+	node, err := newNode(nil)
+	if err != nil {
+		return fmt.Errorf("join cluster: %w", err)
+	}
+	defer node.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration+30*time.Second)
 	defer cancel()
@@ -333,6 +412,160 @@ func runLoad(node *hoplite.Node, argv []string) error {
 	// Clean up the working set so repeated runs do not accumulate objects.
 	for _, oid := range oids {
 		_ = node.Delete(ctx, oid)
+	}
+	return nil
+}
+
+// nodeFactory starts one ephemeral client node, optionally adjusting its
+// config first.
+type nodeFactory func(mod func(*hoplite.Config)) (*hoplite.Node, error)
+
+// runMixedLoad exercises egress scheduling fairness end to end. One
+// "putter" node holds every object (inlining disabled, so even 1 KiB
+// objects are served over the data plane); a bulk stream repeatedly pulls
+// a large object from it through fresh getter nodes while -concurrency
+// workers issue cold Gets of small objects from another getter. Both
+// streams contend for the putter's uplink, which is exactly what the
+// sender's weighted-fair egress scheduler arbitrates: with -sched-classes
+// 1 the bulk stream starves the small Gets' tail; with the default 2
+// classes the small p99 stays near its unloaded value.
+func runMixedLoad(newNode nodeFactory, keys, valueSize, concurrency int, duration time.Duration, bulkSize int64, schedClasses int) error {
+	putter, err := newNode(func(c *hoplite.Config) {
+		c.InlineThreshold = -1
+		c.SchedClasses = schedClasses
+	})
+	if err != nil {
+		return fmt.Errorf("start putter: %w", err)
+	}
+	defer putter.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), duration+2*time.Minute)
+	defer cancel()
+
+	run := time.Now().UnixNano()
+	bulkOID := hoplite.ObjectIDFromString(fmt.Sprintf("load-bulk-%d", run))
+	bulk := make([]byte, bulkSize)
+	if err := putter.Put(ctx, bulkOID, bulk); err != nil {
+		return fmt.Errorf("put bulk object: %w", err)
+	}
+	payload := make([]byte, valueSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	oids := make([]hoplite.ObjectID, keys)
+	for i := range oids {
+		oids[i] = hoplite.ObjectIDFromString(fmt.Sprintf("load-%d-%d", run, i))
+		if err := putter.Put(ctx, oids[i], payload); err != nil {
+			return fmt.Errorf("put %d: %w", i, err)
+		}
+	}
+	fmt.Printf("mixed load: 1 x %d MiB bulk object + %d x %d B small objects; %d small workers for %v (sender sched-classes=%d)\n",
+		bulkSize>>20, keys, valueSize, concurrency, duration, schedClasses)
+
+	smallGetter, err := newNode(nil)
+	if err != nil {
+		return fmt.Errorf("start getter: %w", err)
+	}
+	defer smallGetter.Close()
+
+	var (
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []time.Duration
+		errCount  int64
+		next      int64
+		bulkBytes int64
+		bulkIters int64
+	)
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+	// Bulk stream: one long-lived getter that drops its fetched copy (and
+	// its directory location) after every pull, so each round is a real
+	// network pull — a pull into a node already holding the object would
+	// be a local no-op. A fresh node per pull would also work but races
+	// its own teardown: closing a node right after GetRef returns can cut
+	// down the in-flight sender-lease release, wedging the next acquire.
+	bulkGetter, err := newNode(nil)
+	if err != nil {
+		return fmt.Errorf("start bulk getter: %w", err)
+	}
+	defer bulkGetter.Close()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stopped() {
+			ref, err := bulkGetter.GetRef(ctx, bulkOID)
+			if err != nil {
+				if !stopped() {
+					atomic.AddInt64(&errCount, 1)
+				}
+				return
+			}
+			ref.Release()
+			atomic.AddInt64(&bulkBytes, bulkSize)
+			atomic.AddInt64(&bulkIters, 1)
+			bulkGetter.Store().Delete(bulkOID)
+			if err := bulkGetter.Directory().RemoveLocation(ctx, bulkOID); err != nil && !stopped() {
+				atomic.AddInt64(&errCount, 1)
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 4096)
+			defer func() {
+				mu.Lock()
+				latencies = append(latencies, local...)
+				mu.Unlock()
+			}()
+			for !stopped() {
+				i := atomic.AddInt64(&next, 1) - 1
+				if i >= int64(len(oids)) {
+					return // pool exhausted: stop rather than re-Get warm keys
+				}
+				t0 := time.Now()
+				if _, err := smallGetter.Get(ctx, oids[i]); err != nil {
+					atomic.AddInt64(&errCount, 1)
+					continue
+				}
+				local = append(local, time.Since(t0))
+			}
+		}()
+	}
+	timer := time.NewTimer(duration)
+	<-timer.C
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	n := len(latencies)
+	fmt.Printf("bulk: %d pulls, %.1f MiB/s sustained\n",
+		atomic.LoadInt64(&bulkIters), float64(atomic.LoadInt64(&bulkBytes))/(1<<20)/elapsed.Seconds())
+	if n == 0 {
+		return fmt.Errorf("no small Gets completed (%d errors)", errCount)
+	}
+	if int64(n) >= int64(len(oids)) {
+		fmt.Printf("small-Get pool exhausted after %v; raise -keys for longer runs\n", elapsed.Truncate(time.Millisecond))
+	}
+	pct := func(p float64) time.Duration { return latencies[min(n-1, int(float64(n)*p))] }
+	fmt.Printf("small gets: %d ops  errors: %d  %.0f ops/sec\n", n, errCount, float64(n)/elapsed.Seconds())
+	fmt.Printf("small latency: p50=%v p95=%v p99=%v max=%v\n", pct(0.50), pct(0.95), pct(0.99), latencies[n-1])
+
+	_ = putter.Delete(ctx, bulkOID)
+	for _, oid := range oids {
+		_ = putter.Delete(ctx, oid)
 	}
 	return nil
 }

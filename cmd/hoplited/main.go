@@ -72,6 +72,11 @@ func main() {
 	storageOnly := flag.Bool("storage-only", false, "with -join: join as a pure storage member, never hosting directory shard replicas")
 	objectRepl := flag.Int("object-replication", 1, "with -bootstrap: object replication target the repair scanner restores after drains and declared node losses")
 	repairEvery := flag.Duration("repair-interval", 0, "re-replication scanner period (0 = default 250ms, negative disables); membership clusters only")
+	planner := flag.String("planner", "", "transfer planner: link (default) plans striped Gets and reduce trees from measured link state; static reproduces the equal-links behavior")
+	schedClasses := flag.Int("sched-classes", 0, "egress scheduler classes: 2 (default) isolates latency-sensitive small pulls from bulk transfers, 1 disables scheduling")
+	bulkCutoff := flag.Int64("bulk-cutoff", 0, "pull span in bytes at or above which a pull is classed as bulk by the egress scheduler (0 = default 1 MiB)")
+	linkHalfLife := flag.Duration("link-half-life", 0, "decay half-life for measured link estimates on quiet links (0 = default 10s)")
+	locality := flag.String("locality", "", "locality domain label for this node (e.g. a rack or DC name); unmeasured links borrow their domain's mean estimate")
 	flag.Parse()
 
 	if *spillDir != "" && *memLimit <= 0 && *capacity <= 0 {
@@ -142,6 +147,18 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen %s: %v", *listen, err)
 	}
+	if initialMap != nil && *locality != "" {
+		// The founding map is derived from the -bootstrap address list,
+		// which carries no locality labels; stamp this daemon's own entry.
+		// (-join members propagate their label through the membership
+		// shard instead.)
+		self := ln.Addr().String()
+		for i := range initialMap.Members {
+			if a := string(initialMap.Members[i].Addr); a == self || a == *listen {
+				initialMap.Members[i].Locality = *locality
+			}
+		}
+	}
 	node, err := hoplite.NewNode(hoplite.Config{
 		Fabric:            fab,
 		Listener:          ln,
@@ -162,6 +179,11 @@ func main() {
 		MaxBatchDelay:     *batchDelay,
 		MaxBatchBytes:     *batchBytes,
 		LocationCacheSize: *locCache,
+		Planner:           *planner,
+		SchedClasses:      *schedClasses,
+		BulkCutoff:        *bulkCutoff,
+		LinkHalfLife:      *linkHalfLife,
+		Locality:          *locality,
 	})
 	if err != nil {
 		log.Fatalf("start node: %v", err)

@@ -189,6 +189,11 @@ type Options struct {
 	// MaxSources caps the number of senders a striped Get pulls from
 	// concurrently (0 = default, 1 disables striping).
 	MaxSources int
+	// ChunkSize is the data-plane wire chunk in bytes (0 = default
+	// 256 KiB). Smaller chunks tighten the egress scheduler's per-turn
+	// granularity — a latency-class pull waits behind at most one bulk
+	// chunk — at the cost of more frame and scheduling overhead.
+	ChunkSize int
 	// ReduceDegree forces the reduce tree degree (0 = automatic).
 	ReduceDegree int
 	// ShardNodes limits directory shards to the first k nodes (0 = every
@@ -214,18 +219,53 @@ type Options struct {
 	// RepairInterval is the repair scanner period (0 = directory default
 	// of 250ms, negative disables).
 	RepairInterval time.Duration
-	// Latency/Bandwidth are the cost-model estimates for degree
-	// selection; when Emulate is set they default to its values.
+	// Latency/Bandwidth are cold-start priors for the per-peer link-state
+	// estimators (and through them degree selection and striping): each
+	// node seeds every peer's RTT/bandwidth estimate from them and decays
+	// measurements back toward them when a link goes quiet. When Emulate
+	// is set they default to its values.
 	Latency   time.Duration
 	Bandwidth float64
+	// LinkHalfLife is the decay half-life for measured link estimates on
+	// quiet links (0 = default 10s).
+	LinkHalfLife time.Duration
+	// Planner selects the transfer planner: "link" (default) ranks
+	// striped-Get senders, sizes their claim spans, and shapes the reduce
+	// tree from measured link state; "static" reproduces the legacy
+	// equal-links behavior exactly.
+	Planner string
+	// SchedClasses configures each node's egress scheduler: 2 (default)
+	// separates latency-sensitive small pulls from bulk transfers under
+	// byte-deficit weighted-fair sharing; 1 disables scheduling.
+	SchedClasses int
+	// SchedQuantum is the scheduler's fairness quantum in bytes (0 =
+	// derived from the transfer chunk size).
+	SchedQuantum int64
+	// BulkCutoff is the pull span in bytes at or above which a pull is
+	// classed as bulk by the egress scheduler (0 = default 1 MiB).
+	BulkCutoff int64
+	// Localities optionally labels nodes with locality domains (rack or
+	// datacenter): node i gets Localities[i], missing entries mean no
+	// label. Peers without measurements inherit their domain's mean link
+	// estimate instead of the global prior.
+	Localities []string
 	// PipelineBlock overrides the pipelining block size.
 	PipelineBlock int
+}
+
+// localityFor returns the configured locality label for node i ("" when
+// unlabeled or out of range — late AddNode joiners are unlabeled).
+func (o Options) localityFor(i int) string {
+	if i < 0 || i >= len(o.Localities) {
+		return ""
+	}
+	return o.Localities[i]
 }
 
 // coreConfig translates the cluster options into one node's core.Config.
 // Every node construction — initial boot and restart — goes through this
 // single helper so a new knob cannot be silently dropped from one path.
-func (o Options) coreConfig(fab netem.Fabric, name string, ln net.Listener, topology [][]string, initialMap *types.ClusterMap) core.Config {
+func (o Options) coreConfig(fab netem.Fabric, name string, ln net.Listener, topology [][]string, initialMap *types.ClusterMap, locality string) core.Config {
 	spillDir := ""
 	if o.SpillDir != "" {
 		// One subdirectory per node: in-process cluster nodes must not
@@ -253,8 +293,15 @@ func (o Options) coreConfig(fab netem.Fabric, name string, ln net.Listener, topo
 		SpillLowWater:     o.SpillLowWater,
 		StripeThreshold:   o.StripeThreshold,
 		MaxSources:        o.MaxSources,
+		ChunkSize:         o.ChunkSize,
 		Latency:           o.Latency,
 		Bandwidth:         o.Bandwidth,
+		LinkHalfLife:      o.LinkHalfLife,
+		Planner:           o.Planner,
+		SchedClasses:      o.SchedClasses,
+		SchedQuantum:      o.SchedQuantum,
+		BulkCutoff:        o.BulkCutoff,
+		Locality:          locality,
 		ReduceDegree:      o.ReduceDegree,
 	}
 }
@@ -341,10 +388,11 @@ func StartLocalCluster(n int, opts Options) (*Cluster, error) {
 			Addr:      types.NodeID(addr),
 			State:     types.MemberActive,
 			ShardHost: i < shardNodes,
+			Locality:  opts.localityFor(i),
 		})
 	}
 	for i := 0; i < n; i++ {
-		node, err := core.NewNode(opts.coreConfig(fab, fmt.Sprintf("node-%d", i), lns[i], c.topology, &c.bootMap))
+		node, err := core.NewNode(opts.coreConfig(fab, fmt.Sprintf("node-%d", i), lns[i], c.topology, &c.bootMap, opts.localityFor(i)))
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -394,7 +442,7 @@ func (c *Cluster) AddNode(storageOnly bool) (int, error) {
 	if err != nil {
 		return -1, fmt.Errorf("hoplite: add node %d: %w", i, err)
 	}
-	cfg := c.opts.coreConfig(c.fab, name, ln, nil, nil)
+	cfg := c.opts.coreConfig(c.fab, name, ln, nil, nil, c.opts.localityFor(i))
 	cfg.JoinAddrs = c.liveAddrs()
 	cfg.JoinStorageOnly = storageOnly
 	node, err := core.NewNode(cfg)
@@ -468,6 +516,18 @@ func (c *Cluster) SetNodeLink(i int, cfg netem.LinkConfig) error {
 	return nil
 }
 
+// SetPairLink shapes the directional link from node i to node j at
+// runtime (emulated fabric only): a pair-wise rate cap and/or one-way
+// latency override on top of both nodes' own links. Shape the reverse
+// direction with the arguments swapped; see netem.Emulated.SetPairLink.
+func (c *Cluster) SetPairLink(i, j int, cfg netem.LinkConfig) error {
+	if c.em == nil {
+		return fmt.Errorf("hoplite: SetPairLink requires an emulated fabric")
+	}
+	c.em.SetPairLink(fmt.Sprintf("node-%d", i), fmt.Sprintf("node-%d", j), cfg)
+	return nil
+}
+
 // KillNode abruptly disconnects node i (emulated fabric only): all of its
 // sockets break, which is how peers detect the failure.
 func (c *Cluster) KillNode(i int) error {
@@ -507,7 +567,7 @@ func (c *Cluster) RestartNode(i int) error {
 	// replication level. With no live seed (whole-cluster restart), fall
 	// back to booting from the freshest map any slot holds.
 	cm := c.currentMap()
-	cfg := c.opts.coreConfig(c.fab, name, ln, c.topology, &cm)
+	cfg := c.opts.coreConfig(c.fab, name, ln, c.topology, &cm, c.opts.localityFor(i))
 	if seeds := c.liveAddrs(); len(seeds) > 0 {
 		shardHost := true
 		if mi := cm.MemberIndex(types.NodeID(c.addrs[i])); mi >= 0 {

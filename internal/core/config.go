@@ -157,11 +157,42 @@ type Config struct {
 	// DefaultMaxSources; 1 disables striping.
 	MaxSources int
 
-	// Latency and Bandwidth are the L and B estimates used to choose the
-	// reduce tree degree d (§3.4.2). They default to 200µs and 1.25 GB/s
-	// (the paper's 10 Gbps testbed).
+	// Latency and Bandwidth are cold-start priors for the per-link L and B
+	// estimates that drive reduce-tree degree selection (§3.4.2) and
+	// striped-Get planning. Before any traffic has been measured the
+	// planner uses them directly; once the link-state tracker has samples
+	// for a peer, the measured estimate takes over (decaying back toward
+	// these priors when a link goes quiet). They default to 200µs and
+	// 1.25 GB/s (the paper's 10 Gbps testbed).
 	Latency   time.Duration
 	Bandwidth float64
+
+	// LinkHalfLife is the quiet-link decay half-life of the link-state
+	// estimator: after a link has been idle, its measured estimate decays
+	// toward the Latency/Bandwidth priors with this half-life. Zero
+	// selects the linkstate default (10s); negative disables decay.
+	LinkHalfLife time.Duration
+
+	// Locality is this node's optional rack/DC label. It is announced on
+	// join, carried on the cluster map, and used by the link-state tracker
+	// to estimate unmeasured peers from the locality-domain mean.
+	Locality string
+
+	// Planner selects the transfer planner: "link" (default) ranks striped
+	// senders and shapes reduce trees by measured per-link estimates;
+	// "static" keeps the prior-only equal-split behavior.
+	Planner string
+
+	// SchedClasses configures the data-plane egress scheduler: 2 (default)
+	// enables the weighted-fair latency/bulk scheduler so a saturating
+	// striped Get cannot starve a small Get; 1 disables scheduling.
+	SchedClasses int
+	// SchedQuantum is the scheduler's byte-deficit quantum; 0 selects one
+	// chunk frame (the minimum the deficit gate allows).
+	SchedQuantum int64
+	// BulkCutoff is the full-pull size at or above which a pull is
+	// scheduled as bulk; 0 selects transport.DefaultBulkCutoff (1 MB).
+	BulkCutoff int64
 
 	// ReduceDegree forces the reduce tree degree: 0 = choose
 	// automatically among {1, 2, n}; otherwise the given d is used
@@ -214,6 +245,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if cfg.PingInterval <= 0 {
 		cfg.PingInterval = 20 * time.Millisecond
+	}
+	if cfg.Planner == "" {
+		cfg.Planner = "link"
+	}
+	if cfg.SchedClasses == 0 {
+		cfg.SchedClasses = 2
 	}
 	return cfg
 }

@@ -10,6 +10,7 @@ import (
 
 	"hoplite/internal/buffer"
 	"hoplite/internal/directory"
+	"hoplite/internal/linkstate"
 	"hoplite/internal/netem"
 	"hoplite/internal/spill"
 	"hoplite/internal/store"
@@ -49,6 +50,11 @@ type Node struct {
 	cancel context.CancelFunc
 
 	locs *locCache // nil when LocationCacheSize < 0
+
+	// links accumulates per-peer RTT and bandwidth estimates from the
+	// node's own traffic; plan turns them into transfer decisions.
+	links *linkstate.Tracker
+	plan  planner
 
 	// cmap is the node's view of the epoch-versioned cluster map (Epoch 0
 	// when membership is disabled). encodedMap caches its wire form for
@@ -114,6 +120,16 @@ func NewNode(cfg Config) (*Node, error) {
 	if c.LocationCacheSize > 0 {
 		n.locs = newLocCache(c.LocationCacheSize)
 	}
+	n.links = linkstate.New(linkstate.Config{
+		PriorRTT:       c.Latency,
+		PriorBandwidth: c.Bandwidth,
+		HalfLife:       c.LinkHalfLife,
+	})
+	if c.Planner == "static" {
+		n.plan = staticPlanner{latency: c.Latency, bandwidth: c.Bandwidth}
+	} else {
+		n.plan = linkPlanner{links: n.links, latency: c.Latency, bandwidth: c.Bandwidth}
+	}
 	n.ctx, n.cancel = context.WithCancel(context.Background())
 	if c.SpillDir != "" {
 		sp, err := spill.Open(c.SpillDir)
@@ -151,7 +167,7 @@ func NewNode(cfg Config) (*Node, error) {
 	switch {
 	case len(c.JoinAddrs) > 0:
 		jctx, jcancel := context.WithTimeout(n.ctx, 30*time.Second)
-		cm, err := directory.Join(jctx, n.dialCtrl, c.JoinAddrs, n.id, !c.JoinStorageOnly)
+		cm, err := directory.Join(jctx, n.dialCtrl, c.JoinAddrs, n.id, !c.JoinStorageOnly, c.Locality)
 		jcancel()
 		if err != nil {
 			ln.Close()
@@ -218,6 +234,7 @@ func NewNode(cfg Config) (*Node, error) {
 	if initialMap != nil {
 		n.cmap = initialMap.Clone()
 		n.encodedMap = types.EncodeClusterMap(nil, n.cmap)
+		n.links.SetLocality(n.cmap.Localities())
 		n.dir.InstallMap(*initialMap)
 		n.dir.OnMap(n.applyMap)
 	}
@@ -225,6 +242,10 @@ func NewNode(cfg Config) (*Node, error) {
 	n.dataLn = newChanListener(ln.Addr())
 	n.ctrlLn = newChanListener(ln.Addr())
 	n.dataSrv = transport.NewServer(n.dataLn, n.serveBuffer, c.ChunkSize, n.onSendFailure)
+	n.dataSrv.ConfigureScheduler(c.SchedClasses, c.SchedQuantum, c.BulkCutoff)
+	n.dataSrv.SetTelemetry(func(peer types.NodeID, bytes int64, d time.Duration) {
+		n.links.ObserveTransfer(peer, bytes, d)
+	})
 	n.ctrlSrv = wire.NewServerWith(n.ctrlLn, n.handleCtrl, c.batchConfig())
 
 	n.wg.Add(3)
@@ -360,6 +381,34 @@ func (n *Node) Spill() *spill.Spill { return n.spill }
 // (and ranged striped pulls) this node's store served to receivers.
 func (n *Node) DataStats() transport.Stats { return n.dataSrv.Stats() }
 
+// PeerDataStats reports per-receiver serve counters: how many pulls and
+// bytes this node's store served to each peer.
+func (n *Node) PeerDataStats() map[types.NodeID]transport.PeerStat { return n.dataSrv.PeerStats() }
+
+// Links exposes the node's link-state tracker (used by tests and tools).
+func (n *Node) Links() *linkstate.Tracker { return n.links }
+
+// LinkState returns the node's current per-peer link estimate table.
+func (n *Node) LinkState() []linkstate.PeerEstimate { return n.links.Snapshot() }
+
+// PeerLinkState fetches peer's link estimate table (the rows LinkState
+// returns locally) over the control plane, so tools can print a
+// cluster-wide link matrix from any vantage point.
+func (n *Node) PeerLinkState(ctx context.Context, peer types.NodeID) ([]linkstate.PeerEstimate, error) {
+	cl, err := n.peerCtrl(ctx, string(peer))
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cl.Call(ctx, wire.Message{Method: wire.MethodLinkState})
+	if err != nil {
+		return nil, err
+	}
+	if e := resp.ErrorOf(); e != nil {
+		return nil, e
+	}
+	return linkstate.DecodeSnapshot(resp.Payload)
+}
+
 func (n *Node) acceptLoop() {
 	for {
 		conn, err := n.ln.Accept()
@@ -472,6 +521,11 @@ func (n *Node) peerCtrl(ctx context.Context, addr string) (*wire.Client, error) 
 		return nil, err
 	}
 	c := wire.NewClientWith(conn, nil, n.cfg.batchConfig())
+	// Every control round-trip on this client doubles as an RTT probe for
+	// the link estimator. Peer control handlers respond immediately (no
+	// blocking waits), so the measured time is genuine RPC latency.
+	peer := types.NodeID(addr)
+	c.OnRTT(func(d time.Duration) { n.links.ObserveRTT(peer, d) })
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -531,6 +585,10 @@ func (n *Node) handleCtrl(ctx context.Context, m wire.Message, p *wire.Peer) wir
 		return wire.Message{}
 	case wire.MethodPing:
 		return wire.Message{Method: wire.MethodPing}
+	case wire.MethodLinkState:
+		// Link-state telemetry: return this node's per-peer estimate table
+		// (hoplite-cli status renders it).
+		return wire.Message{Payload: linkstate.EncodeSnapshot(n.links.Snapshot())}
 	default:
 		if n.shard != nil {
 			return n.shard.Handler()(ctx, m, p)
@@ -603,6 +661,7 @@ func (n *Node) applyMap(cm types.ClusterMap) {
 	}
 	n.cmapMu.Unlock()
 	n.dir.InstallMap(cm)
+	n.links.SetLocality(cm.Localities())
 	if n.shard != nil {
 		n.shard.InstallMap(cm)
 	}

@@ -407,6 +407,11 @@ func (n *Node) startPull(ctx context.Context, oid types.ObjectID, p *pull) (*buf
 	acquired := false
 	if n.cfg.MaxSources > 1 && n.cfg.StripeThreshold > 0 {
 		ml, err := n.dir.AcquireSenders(ctx, oid, n.cfg.MaxSources)
+		if err == nil && len(ml.Senders) > 1 {
+			// Best link first: the striped path drains the fastest senders
+			// hardest, and the single-lease fallback keeps Senders[0].
+			ml.Senders = n.plan.rankSenders(ml.Senders)
+		}
 		switch {
 		case err == nil && ml.Inline != nil:
 			return inline(ml.Inline)
@@ -562,7 +567,7 @@ func (n *Node) runPull(oid types.ObjectID, p *pull, buf *buffer.Buffer, sender t
 	for {
 		addr := string(sender)
 		dial := func(c context.Context) (net.Conn, error) { return n.dialData(c, addr) }
-		err := transport.Pull(ctx, dial, n.id, oid, buf.Watermark(), buf)
+		err := transport.PullObserved(ctx, dial, n.id, oid, buf.Watermark(), buf, n.linkObserver(sender))
 		if err == nil {
 			rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 			_ = n.dir.ReleaseSender(rctx, oid, sender, true)
@@ -637,6 +642,14 @@ func (n *Node) rebindLease(oid types.ObjectID, p *pull, buf *buffer.Buffer, leas
 	return buf, lease.Gen, true
 }
 
+// linkObserver returns the receiver-side transfer observer that feeds the
+// link estimator: the measured rate of a pull from sender is a direct
+// bandwidth sample for that link (pipelined sources measure the effective
+// path rate, which is what planning needs).
+func (n *Node) linkObserver(sender types.NodeID) transport.Observer {
+	return func(bytes int64, d time.Duration) { n.links.ObserveTransfer(sender, bytes, d) }
+}
+
 // stripeChunk picks the claim-grid granularity for a striped pull: the
 // default ledger chunk, shrunk until every leased sender has at least one
 // chunk to claim. Without this, an object smaller than two default chunks
@@ -673,18 +686,20 @@ func (n *Node) runStripedPull(oid types.ObjectID, p *pull, buf *buffer.Buffer, m
 		}
 		n.mu.Unlock()
 	}()
-	// Claims go out one ledger chunk at a time: for small striped objects
-	// the grid was shrunk (stripeChunk) so each sender gets a range, and
-	// a PipelineBlock-sized claim span would undo that by absorbing the
-	// whole grid into the first claim.
-	span := buf.ChunkSize()
+	// Claims go out in ledger-chunk-granular spans: for small striped
+	// objects the grid was shrunk (stripeChunk) so each sender gets a
+	// range, and a PipelineBlock-sized claim span would undo that by
+	// absorbing the whole grid into the first claim. The planner scales
+	// each sender's span with its estimated bandwidth, so faster links
+	// claim longer runs per trip.
+	spans := n.plan.stripeSpans(ml.Senders, buf.ChunkSize())
 	var wg sync.WaitGroup
-	for _, sender := range ml.Senders {
+	for i, sender := range ml.Senders {
 		wg.Add(1)
-		go func(sender types.NodeID) {
+		go func(sender types.NodeID, span int64) {
 			defer wg.Done()
 			n.stripeWorker(ctx, oid, buf, sender, span)
-		}(sender)
+		}(sender, spans[i])
 	}
 	wg.Wait()
 	if ctx.Err() != nil {
@@ -719,7 +734,7 @@ func (n *Node) stripeWorker(ctx context.Context, oid types.ObjectID, buf *buffer
 			cancel()
 			return
 		}
-		if err := transport.PullRange(ctx, dial, n.id, oid, off, length, buf); err != nil {
+		if err := transport.PullRangeObserved(ctx, dial, n.id, oid, off, length, buf, n.linkObserver(sender)); err != nil {
 			buf.ReleaseClaim(off, length)
 			rctx, cancel := context.WithTimeout(n.ctx, 10*time.Second)
 			if errors.Is(err, types.ErrDeleted) {
@@ -801,7 +816,7 @@ func (n *Node) pullMissing(ctx context.Context, oid types.ObjectID, buf *buffer.
 			}
 			return nil
 		}
-		if err := transport.PullRange(ctx, dial, n.id, oid, off, length, buf); err != nil {
+		if err := transport.PullRangeObserved(ctx, dial, n.id, oid, off, length, buf, n.linkObserver(sender)); err != nil {
 			buf.ReleaseClaim(off, length)
 			return err
 		}

@@ -478,13 +478,17 @@ func (n *Node) reduceSmall(ctx context.Context, target types.ObjectID, sources [
 func (n *Node) reduceTree(ctx context.Context, target types.ObjectID, num int, op types.ReduceOp, size int64, updates chan directory.Update, absorb func(directory.Update), srcLocs map[types.ObjectID][]types.Location, readyOrder *[]types.ObjectID, inQueue map[types.ObjectID]bool) ([]types.ObjectID, error) {
 	d := n.cfg.ReduceDegree
 	if d <= 0 {
-		d = chooseDegree(num, n.cfg.Latency, n.cfg.Bandwidth, size)
+		// The planner supplies L and B: measured link aggregates once the
+		// cluster has traffic history, the configured priors before that.
+		lat, bw := n.plan.reduceParams()
+		d = chooseDegree(num, lat, bw, size)
 	}
 	if d > num {
 		d = num
 	}
 	parent, children := treeShape(num, d)
 	root := treeRoot(parent)
+	isLeaf := func(slot int) bool { return len(children[slot]) == 0 }
 
 	epoch := make([]int64, num)
 	outOID := make([]types.ObjectID, num)
@@ -500,17 +504,19 @@ func (n *Node) reduceTree(ctx context.Context, target types.ObjectID, num int, o
 	assigned := make([]*assignment, num)
 	assignedSrc := make(map[types.ObjectID]int) // src -> slot
 	nextReady := 0
-	// freeSlot returns the lowest unfilled slot: initially slots fill in
-	// arrival order (in-order traversal positions); after a failure the
-	// vacated slot is refilled by the next ready source ("replaced by the
-	// next ready source object", §3.5.2).
-	freeSlot := func() int {
+	// freeSlots returns the unfilled slots, lowest first: by default slots
+	// fill in arrival order (in-order traversal positions) and after a
+	// failure the vacated slot is refilled by the next ready source
+	// ("replaced by the next ready source object", §3.5.2); the planner may
+	// steer a slow host to a leaf slot instead.
+	freeSlots := func() []int {
+		var free []int
 		for i, a := range assigned {
 			if a == nil {
-				return i
+				free = append(free, i)
 			}
 		}
-		return -1
+		return free
 	}
 
 	targetDone := make(chan struct{}, 1)
@@ -592,11 +598,13 @@ func (n *Node) reduceTree(ctx context.Context, target types.ObjectID, num int, o
 		}
 	}
 
-	// tryAssign fills open slots with ready sources in arrival order.
+	// tryAssign fills open slots with ready sources in arrival order; the
+	// planner picks which open slot each source gets (lowest free slot by
+	// default, a leaf for a measured-slow host).
 	tryAssign := func() {
 		for {
-			slot := freeSlot()
-			if slot < 0 {
+			free := freeSlots()
+			if len(free) == 0 {
 				return
 			}
 			// Find the next ready, unassigned source with a live host.
@@ -618,6 +626,7 @@ func (n *Node) reduceTree(ctx context.Context, target types.ObjectID, num int, o
 			if !found {
 				return
 			}
+			slot := n.plan.chooseSlot(free, isLeaf, host)
 			assigned[slot] = &assignment{src: src, host: host}
 			assignedSrc[src] = slot
 			sendSpec(slot)

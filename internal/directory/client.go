@@ -905,11 +905,11 @@ func (c *Client) SoleCopies(ctx context.Context, node types.NodeID) (int, error)
 // returned map is what it builds one from. ErrNotPrimary hints and
 // ErrStaleMap bounces extend the candidate list, and unreachable seeds
 // are retried until ctx expires, so one reachable seed suffices.
-func Join(ctx context.Context, dial Dialer, seeds []string, self types.NodeID, shardHost bool) (types.ClusterMap, error) {
+func Join(ctx context.Context, dial Dialer, seeds []string, self types.NodeID, shardHost bool, locality string) (types.ClusterMap, error) {
 	if len(seeds) == 0 {
 		return types.ClusterMap{}, errors.New("directory: join requires at least one seed address")
 	}
-	req := wire.Message{Method: wire.MethodJoin, Node: self, Complete: shardHost}
+	req := wire.Message{Method: wire.MethodJoin, Node: self, Complete: shardHost, Payload: []byte(locality)}
 	// Never join through our own address: a rejoining node's hint chain can
 	// point back at its previous life (it may have been the membership
 	// primary), and its own half-started listener would swallow the call.

@@ -244,7 +244,10 @@ func (s *Server) membership(m wire.Message) wire.Message {
 	var err error
 	switch {
 	case m.Method == wire.MethodJoin:
-		next, err = s.cmap.WithJoin(m.Node, m.Complete)
+		// The request payload carries the joiner's optional locality label
+		// (rack/DC), recorded on its Member entry for link-state
+		// aggregation.
+		next, err = s.cmap.WithJoin(m.Node, m.Complete, string(m.Payload))
 	case m.Num == DrainStart:
 		next, err = s.cmap.WithDrain(m.Node)
 	default: // DrainFinish, DrainDead

@@ -585,6 +585,11 @@ func (s *Server) applyLocked(m wire.Message) (resp wire.Message, mutated bool, n
 		}
 		after := s.installMapLocked(next)
 		resp.Epoch = s.cmap.Epoch
+		// Carry the resulting map in the response: it is cached for retry
+		// dedupe, and a client retrying the transition against a promoted
+		// successor expects the map payload the original primary would have
+		// answered with — an empty replay fails its decode.
+		resp.Payload = append([]byte(nil), m.Payload...)
 		return resp, true, func() {
 			for _, fn := range after {
 				fn()

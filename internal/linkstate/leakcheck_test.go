@@ -1,0 +1,11 @@
+package linkstate
+
+import (
+	"testing"
+
+	"hoplite/internal/leakcheck"
+)
+
+// TestMain routes the package through the goroutine-leak harness; see
+// docs/INVARIANTS.md.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

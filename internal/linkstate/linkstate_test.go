@@ -1,0 +1,170 @@
+package linkstate
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hoplite/internal/types"
+)
+
+// fakeClock drives a Tracker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClockedTracker(cfg Config) (*Tracker, *fakeClock) {
+	tr := New(cfg)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tr.now = clk.now
+	return tr, clk
+}
+
+func TestPriorsBeforeAnySample(t *testing.T) {
+	tr := New(Config{PriorRTT: 500 * time.Microsecond, PriorBandwidth: 2e9})
+	est := tr.Estimate("n1")
+	if est.Measured {
+		t.Fatal("unmeasured peer reported Measured")
+	}
+	if est.RTT != 500*time.Microsecond || est.Bandwidth != 2e9 {
+		t.Fatalf("expected priors, got %v / %v", est.RTT, est.Bandwidth)
+	}
+}
+
+func TestEWMAConvergence(t *testing.T) {
+	tr, clk := newClockedTracker(Config{PriorRTT: 200 * time.Microsecond, PriorBandwidth: 1.25e9})
+	for i := 0; i < 50; i++ {
+		tr.ObserveRTT("n1", 2*time.Millisecond)
+		tr.ObserveTransfer("n1", 8<<20, time.Second) // 8 MB/s
+		clk.advance(10 * time.Millisecond)
+	}
+	est := tr.Estimate("n1")
+	if !est.Measured {
+		t.Fatal("peer with samples not Measured")
+	}
+	if est.RTT < 1500*time.Microsecond || est.RTT > 2500*time.Microsecond {
+		t.Fatalf("RTT did not converge to ~2ms: %v", est.RTT)
+	}
+	if bw := est.Bandwidth; math.Abs(bw-float64(8<<20)) > float64(1<<20) {
+		t.Fatalf("bandwidth did not converge to ~8MB/s: %v", bw)
+	}
+	if est.Samples == 0 {
+		t.Fatal("sample count not tracked")
+	}
+}
+
+func TestSmallTransfersIgnoredForBandwidth(t *testing.T) {
+	tr, _ := newClockedTracker(Config{PriorBandwidth: 1.25e9})
+	// A tiny transfer at an absurdly low implied rate must not poison the
+	// bandwidth estimate.
+	tr.ObserveTransfer("n1", 100, time.Second)
+	if est := tr.Estimate("n1"); est.Bandwidth != 1.25e9 {
+		t.Fatalf("tiny transfer moved bandwidth estimate: %v", est.Bandwidth)
+	}
+}
+
+func TestDecayTowardPriors(t *testing.T) {
+	prior := 1.25e9
+	tr, clk := newClockedTracker(Config{PriorBandwidth: prior, HalfLife: time.Second})
+	tr.ObserveTransfer("n1", 1<<20, time.Second) // 1 MB/s, far below prior
+	measured := tr.Estimate("n1").Bandwidth
+
+	clk.advance(decayGrace + time.Second) // grace period + one half-life
+	half := tr.Estimate("n1").Bandwidth
+	wantHalf := prior + (measured-prior)*0.5
+	if math.Abs(half-wantHalf)/wantHalf > 0.01 {
+		t.Fatalf("after one half-life got %v, want %v", half, wantHalf)
+	}
+
+	clk.advance(time.Minute) // many half-lives: effectively the prior again
+	if final := tr.Estimate("n1").Bandwidth; math.Abs(final-prior)/prior > 0.01 {
+		t.Fatalf("quiet link did not decay to prior: %v", final)
+	}
+}
+
+func TestDecayDisabled(t *testing.T) {
+	tr, clk := newClockedTracker(Config{PriorBandwidth: 1.25e9, HalfLife: -1})
+	tr.ObserveTransfer("n1", 1<<20, time.Second)
+	measured := tr.Estimate("n1").Bandwidth
+	clk.advance(time.Hour)
+	if got := tr.Estimate("n1").Bandwidth; got != measured {
+		t.Fatalf("HalfLife<0 must disable decay: %v != %v", got, measured)
+	}
+}
+
+func TestFreshSampleBlendsAgainstDecayedValue(t *testing.T) {
+	tr, clk := newClockedTracker(Config{PriorBandwidth: 100e6, HalfLife: time.Second})
+	tr.ObserveTransfer("n1", 1<<20, time.Second) // ~1 MB/s
+	clk.advance(time.Hour)                       // decays ~fully back to 100 MB/s
+	tr.ObserveTransfer("n1", 200<<20, time.Second)
+	// New EWMA should sit between the decayed base (~100 MB/s) and the new
+	// sample (200 MiB/s), nowhere near the stale 1 MB/s measurement.
+	if got := tr.Estimate("n1").Bandwidth; got < 100e6 {
+		t.Fatalf("sample blended against stale value, not decayed one: %v", got)
+	}
+}
+
+func TestLocalityAggregation(t *testing.T) {
+	tr, _ := newClockedTracker(Config{PriorRTT: 200 * time.Microsecond, PriorBandwidth: 1.25e9})
+	tr.SetLocality(map[types.NodeID]string{"a": "rack1", "b": "rack1", "c": "rack2"})
+	for i := 0; i < 20; i++ {
+		tr.ObserveRTT("a", 5*time.Millisecond)
+		tr.ObserveTransfer("a", 10<<20, time.Second)
+	}
+	// b shares a's rack and borrows its aggregate; c does not.
+	b := tr.Estimate("b")
+	if b.Measured {
+		t.Fatal("aggregate estimate must not claim Measured")
+	}
+	if b.RTT < time.Millisecond {
+		t.Fatalf("rack peer should borrow measured RTT, got %v", b.RTT)
+	}
+	if b.Bandwidth > 100<<20 {
+		t.Fatalf("rack peer should borrow measured bandwidth, got %v", b.Bandwidth)
+	}
+	if c := tr.Estimate("c"); c.RTT != 200*time.Microsecond || c.Bandwidth != 1.25e9 {
+		t.Fatalf("other-rack peer should keep priors, got %+v", c)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tr, _ := newClockedTracker(Config{})
+	tr.SetLocality(map[types.NodeID]string{"a": "rack1", "z": "rack9"})
+	tr.ObserveRTT("a", time.Millisecond)
+	tr.ObserveTransfer("a", 4<<20, 100*time.Millisecond)
+	tr.ObserveRTT("m", 3*time.Millisecond)
+
+	rows := tr.Snapshot()
+	if len(rows) != 3 {
+		t.Fatalf("snapshot rows = %d, want 3", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].Peer >= rows[i].Peer {
+			t.Fatal("snapshot not sorted by peer")
+		}
+	}
+
+	got, err := DecodeSnapshot(EncodeSnapshot(rows))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("round trip rows = %d, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		w, g := rows[i], got[i]
+		if g.Peer != w.Peer || g.Locality != w.Locality || g.RTT != w.RTT ||
+			g.Bandwidth != w.Bandwidth || g.Samples != w.Samples || g.Measured != w.Measured {
+			t.Fatalf("row %d mismatch: got %+v want %+v", i, g, w)
+		}
+	}
+}
+
+func TestDecodeSnapshotTruncated(t *testing.T) {
+	full := EncodeSnapshot([]PeerEstimate{{Peer: "a", Locality: "r"}})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeSnapshot(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}

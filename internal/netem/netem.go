@@ -78,6 +78,31 @@ type Emulated struct {
 
 	mu    sync.Mutex
 	nodes map[string]*shapedNode
+	// pairs holds directional pair-wise link overrides (SetPairLink),
+	// keyed by (sender, receiver) node names. owners maps socket addresses
+	// back to node names so a connection endpoint can tell which node is
+	// on its far side: listener addresses are registered at ListenOn, and
+	// a dialer's ephemeral local address at Dial.
+	pairs  map[pairKey]*pairLink
+	owners map[string]string
+}
+
+type pairKey struct{ from, to string }
+
+// pairLink shapes one direction of one node pair: the bucket meters the
+// sender's writes toward that receiver, and latency (when positive)
+// replaces the receiver's one-way delay for data arriving from that sender.
+type pairLink struct {
+	bucket *bucket
+
+	mu      sync.Mutex
+	latency time.Duration
+}
+
+func (p *pairLink) lat() (time.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.latency, p.latency > 0
 }
 
 // NewEmulated returns a fabric applying cfg to every node.
@@ -85,7 +110,68 @@ func NewEmulated(cfg LinkConfig) *Emulated {
 	if cfg.Burst <= 0 {
 		cfg.Burst = 256 << 10
 	}
-	return &Emulated{cfg: cfg, nodes: make(map[string]*shapedNode)}
+	return &Emulated{
+		cfg:    cfg,
+		nodes:  make(map[string]*shapedNode),
+		pairs:  make(map[pairKey]*pairLink),
+		owners: make(map[string]string),
+	}
+}
+
+// SetPairLink shapes traffic flowing from node `from` to node `to`,
+// independently of every other pair and direction: cfg.BytesPerSec caps
+// that direction's rate (in addition to both nodes' own NIC buckets;
+// <= 0 removes the pair cap) and cfg.Latency, when positive, replaces the
+// one-way delay for data arriving at `to` from `from`. Call twice with the
+// arguments swapped to shape both directions — asymmetric pairs (a rack
+// with a thin, slow uplink to one peer and a fat link to another) are the
+// point. Takes effect immediately, live connections included.
+func (e *Emulated) SetPairLink(from, to string, cfg LinkConfig) {
+	burst := cfg.Burst
+	if burst <= 0 {
+		burst = 256 << 10
+	}
+	e.mu.Lock()
+	pl, ok := e.pairs[pairKey{from, to}]
+	if !ok {
+		pl = &pairLink{bucket: newBucket(cfg.BytesPerSec, burst)}
+		e.pairs[pairKey{from, to}] = pl
+	} else {
+		pl.bucket.setRate(cfg.BytesPerSec, burst)
+	}
+	e.mu.Unlock()
+	pl.mu.Lock()
+	pl.latency = cfg.Latency
+	pl.mu.Unlock()
+}
+
+// pair returns the directional pair override, nil when none is configured
+// (or the far endpoint is not yet known).
+func (e *Emulated) pair(from, to string) *pairLink {
+	if from == "" || to == "" {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pairs[pairKey{from, to}]
+}
+
+func (e *Emulated) setOwner(addr, node string) {
+	e.mu.Lock()
+	e.owners[addr] = node
+	e.mu.Unlock()
+}
+
+func (e *Emulated) forgetOwner(addr string) {
+	e.mu.Lock()
+	delete(e.owners, addr)
+	e.mu.Unlock()
+}
+
+func (e *Emulated) ownerOf(addr string) string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.owners[addr]
 }
 
 type shapedNode struct {
@@ -163,6 +249,10 @@ func (e *Emulated) ListenOn(node, addr string) (net.Listener, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Dialers resolve this listener's owner for pair-wise shaping. The
+	// entry deliberately outlives the listener: a killed-and-revived node
+	// keeps its identity.
+	e.setOwner(ln.Addr().String(), node)
 	sl := &shapedListener{Listener: ln, fab: e, node: sn}
 	sn.mu.Lock()
 	sn.listeners[ln] = struct{}{}
@@ -184,9 +274,16 @@ func (e *Emulated) Dial(ctx context.Context, node, addr string) (net.Conn, error
 	if err != nil {
 		return nil, err
 	}
-	sc := newShapedConn(c, sn, sn.lat())
+	// Register the ephemeral local address before returning, so by the
+	// time the acceptor sees any data from this connection it can resolve
+	// who dialed (its first read arrives strictly after Dial returned).
+	local := c.LocalAddr().String()
+	e.setOwner(local, node)
+	sc := newShapedConn(c, e, sn, sn.lat())
+	sc.ownedAddr = local
 	if err := sn.register(sc); err != nil {
 		c.Close()
+		e.forgetOwner(local)
 		return nil, err
 	}
 	return sc, nil
@@ -297,7 +394,7 @@ func (l *shapedListener) Accept() (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	sc := newShapedConn(c, l.node, l.node.lat())
+	sc := newShapedConn(c, l.fab, l.node, l.node.lat())
 	if err := l.node.register(sc); err != nil {
 		c.Close()
 		return nil, err
@@ -317,8 +414,16 @@ func (l *shapedListener) Close() error {
 // consumes ingress tokens and releases data one-way-latency after arrival.
 type shapedConn struct {
 	net.Conn
+	fab     *Emulated
 	node    *shapedNode
 	latency time.Duration
+
+	// ownedAddr is the dialer-side local address registered in fab.owners
+	// (empty on accepted connections); Close unregisters it so a recycled
+	// ephemeral port cannot be mis-attributed.
+	ownedAddr string
+	peerMu    sync.Mutex
+	peer      string // far-side node name, resolved lazily
 
 	segCh   chan segment
 	readMu  sync.Mutex
@@ -334,10 +439,33 @@ type segment struct {
 	err  error
 }
 
-func newShapedConn(c net.Conn, node *shapedNode, latency time.Duration) *shapedConn {
-	sc := &shapedConn{Conn: c, node: node, latency: latency, segCh: make(chan segment, 64)}
+func newShapedConn(c net.Conn, fab *Emulated, node *shapedNode, latency time.Duration) *shapedConn {
+	sc := &shapedConn{Conn: c, fab: fab, node: node, latency: latency, segCh: make(chan segment, 64)}
 	go sc.pump()
 	return sc
+}
+
+// peerName resolves (and caches) which node owns the far side of this
+// connection. Accepted connections cannot resolve until the dialer's Dial
+// call has registered its ephemeral address, which always precedes its
+// first byte arriving here.
+func (c *shapedConn) peerName() string {
+	c.peerMu.Lock()
+	p := c.peer
+	c.peerMu.Unlock()
+	if p != "" {
+		return p
+	}
+	// Resolve outside the lock: ownerOf takes the fabric lock, and the
+	// race is benign (both resolvers compute the same owner).
+	p = c.fab.ownerOf(c.Conn.RemoteAddr().String())
+	c.peerMu.Lock()
+	if c.peer == "" {
+		c.peer = p
+	}
+	p = c.peer
+	c.peerMu.Unlock()
+	return p
 }
 
 func (c *shapedConn) pump() {
@@ -346,7 +474,13 @@ func (c *shapedConn) pump() {
 		n, err := c.Conn.Read(buf)
 		if n > 0 {
 			c.node.ingress.take(int64(n))
-			c.segCh <- segment{data: buf[:n], at: time.Now().Add(c.latency)}
+			lat := c.latency
+			if pl := c.fab.pair(c.peerName(), c.node.name); pl != nil {
+				if d, ok := pl.lat(); ok {
+					lat = d
+				}
+			}
+			c.segCh <- segment{data: buf[:n], at: time.Now().Add(lat)}
 		}
 		if err != nil {
 			c.segCh <- segment{err: err, at: time.Now().Add(c.latency)}
@@ -391,6 +525,9 @@ func (c *shapedConn) Write(p []byte) (int, error) {
 			chunk = chunk[:64<<10]
 		}
 		c.node.egress.take(int64(len(chunk)))
+		if pl := c.fab.pair(c.node.name, c.peerName()); pl != nil {
+			pl.bucket.take(int64(len(chunk)))
+		}
 		n, err := c.Conn.Write(chunk)
 		written += n
 		if err != nil {
@@ -404,6 +541,9 @@ func (c *shapedConn) Write(p []byte) (int, error) {
 // Close implements net.Conn.
 func (c *shapedConn) Close() error {
 	c.closeOnce.Do(func() {
+		if c.ownedAddr != "" {
+			c.fab.forgetOwner(c.ownedAddr)
+		}
 		c.node.unregister(c)
 		c.closeErr = c.Conn.Close()
 	})
@@ -415,6 +555,14 @@ func (c *shapedConn) Close() error {
 // inflate injected latencies by an order of magnitude, so the tail of the
 // wait is spun cooperatively.
 //
+// sleepUntil sleeps to a deadline with a only a tiny spin window at the
+// end. The window must stay small: every shaped write and delayed segment
+// delivery passes through here, so a generous busy-wait (an earlier
+// version spun the last 2ms) multiplied by a few dozen concurrent streams
+// oversubscribes the CPUs and delays every goroutine in the process by
+// whole preemption quanta — swamping the very queueing behavior the
+// fabric is supposed to emulate.
+//
 //hoplite:sleep-ok the loop is the timer itself: it models link delay, not polling for state
 func sleepUntil(at time.Time) {
 	for {
@@ -422,37 +570,41 @@ func sleepUntil(at time.Time) {
 		switch {
 		case d <= 0:
 			return
-		case d > 2*time.Millisecond:
-			time.Sleep(d - 2*time.Millisecond)
+		case d > 50*time.Microsecond:
+			time.Sleep(d - 20*time.Microsecond)
 		default:
 			runtime.Gosched()
 		}
 	}
 }
 
-// bucket is a token bucket permitting "debt": a take larger than the
-// current balance succeeds immediately but sleeps off the deficit, which
-// smooths large writes without chunking loops.
+// bucket models a rate-limited link as a FIFO serialization queue, the way
+// a NIC transmit queue behaves: each take occupies the line for n/rate
+// seconds and its writer sleeps until its own bytes have drained, behind
+// whatever earlier takers already queued. A late small write therefore
+// waits only for the bytes ahead of it — not, as a shared-debt token
+// bucket would have it, for every byte any concurrent writer has charged —
+// so egress scheduling at the sender is observable through the emulation.
+// An idle line accrues up to burst bytes of credit, letting short bursts
+// pass unshaped.
 type bucket struct {
-	mu     sync.Mutex
-	rate   float64 // bytes per second; <=0 means unlimited
-	burst  float64
-	tokens float64
-	last   time.Time
+	mu    sync.Mutex
+	rate  float64 // bytes per second; <=0 means unlimited
+	burst float64
+	free  time.Time // when the last queued byte drains
 }
 
 func newBucket(rate, burst float64) *bucket {
-	return &bucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+	return &bucket{rate: rate, burst: burst}
 }
 
-// setRate re-targets the bucket at runtime; accumulated debt is forgiven
+// setRate re-targets the bucket at runtime; the standing queue is forgiven
 // so a rate change takes effect immediately.
 func (b *bucket) setRate(rate, burst float64) {
 	b.mu.Lock()
 	b.rate = rate
 	b.burst = burst
-	b.tokens = burst
-	b.last = time.Now()
+	b.free = time.Time{}
 	b.mu.Unlock()
 }
 
@@ -465,18 +617,15 @@ func (b *bucket) take(n int64) {
 		return
 	}
 	now := time.Now()
-	b.tokens += now.Sub(b.last).Seconds() * b.rate
-	if b.tokens > b.burst {
-		b.tokens = b.burst
+	// An idle line owes up to burst bytes of credit: the queue tail never
+	// lags more than burst/rate behind the present.
+	if floor := now.Add(-time.Duration(b.burst / b.rate * float64(time.Second))); b.free.Before(floor) {
+		b.free = floor
 	}
-	b.last = now
-	b.tokens -= float64(n)
-	var wait time.Duration
-	if b.tokens < 0 {
-		wait = time.Duration(-b.tokens / b.rate * float64(time.Second))
-	}
+	b.free = b.free.Add(time.Duration(float64(n) / b.rate * float64(time.Second)))
+	wakeAt := b.free
 	b.mu.Unlock()
-	if wait > 0 {
-		sleepUntil(now.Add(wait))
+	if wakeAt.After(now) {
+		sleepUntil(wakeAt)
 	}
 }

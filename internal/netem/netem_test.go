@@ -309,3 +309,93 @@ func TestRemoveNodeForgetsState(t *testing.T) {
 		t.Fatalf("Listen after RemoveNode: %v", err)
 	}
 }
+
+// oneWayTime sends size bytes from one node to a sink on another and
+// reports how long the full transfer takes to arrive.
+func oneWayTime(t *testing.T, em *Emulated, fromNode, toNode string, size int) time.Duration {
+	t.Helper()
+	ln, err := em.Listen(toNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(done)
+			return
+		}
+		defer c.Close()
+		io.CopyN(io.Discard, c, int64(size))
+		close(done)
+	}()
+	conn, err := em.Dial(context.Background(), fromNode, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	t0 := time.Now()
+	if _, err := conn.Write(make([]byte, size)); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	return time.Since(t0)
+}
+
+func TestSetPairLinkRateCapIsDirectional(t *testing.T) {
+	// The fabric itself is unlimited; only the a→b direction gets a cap.
+	em := NewEmulated(LinkConfig{})
+	defer em.Close()
+	const bw = 16 << 20
+	em.SetPairLink("a", "b", LinkConfig{BytesPerSec: bw})
+
+	size := 4 << 20
+	want := time.Duration(float64(size) / bw * float64(time.Second))
+	if d := oneWayTime(t, em, "a", "b", size); d < want*6/10 {
+		t.Fatalf("a→b moved %d bytes in %v, want ≈%v (pair cap not applied)", size, d, want)
+	}
+	// The reverse direction and other pairs stay uncapped.
+	if d := oneWayTime(t, em, "b", "a", size); d > want/2 {
+		t.Fatalf("b→a took %v; pair cap leaked into the reverse direction", d)
+	}
+	if d := oneWayTime(t, em, "a", "c", size); d > want/2 {
+		t.Fatalf("a→c took %v; pair cap leaked onto an unrelated pair", d)
+	}
+}
+
+func TestSetPairLinkLatencyOverrideAsymmetric(t *testing.T) {
+	em := NewEmulated(LinkConfig{Latency: time.Millisecond})
+	defer em.Close()
+	ln := echoServer(t, em, "b")
+	conn, err := em.Dial(context.Background(), "a", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if rtt := measureRTT(t, conn); rtt < time.Millisecond || rtt > 6*time.Millisecond {
+		t.Fatalf("baseline rtt %v, want ≈2ms", rtt)
+	}
+	// Degrade only the a→b direction; b→a keeps the fabric's 1ms. The
+	// override applies to the live connection, no re-dial needed.
+	em.SetPairLink("a", "b", LinkConfig{Latency: 10 * time.Millisecond})
+	if rtt := measureRTT(t, conn); rtt < 8*time.Millisecond || rtt > 25*time.Millisecond {
+		t.Fatalf("asymmetric rtt %v, want ≈11ms (10ms out + 1ms back)", rtt)
+	}
+	// Clearing the override (zero latency) falls back to the node link.
+	em.SetPairLink("a", "b", LinkConfig{})
+	if rtt := measureRTT(t, conn); rtt > 6*time.Millisecond {
+		t.Fatalf("rtt %v after clearing override, want ≈2ms", rtt)
+	}
+	// An a↔c connection never saw the override.
+	lnC := echoServer(t, em, "c")
+	em.SetPairLink("a", "b", LinkConfig{Latency: 10 * time.Millisecond})
+	connC, err := em.Dial(context.Background(), "a", lnC.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connC.Close()
+	if rtt := measureRTT(t, connC); rtt > 6*time.Millisecond {
+		t.Fatalf("a↔c rtt %v, want ≈2ms (pair override is per-pair)", rtt)
+	}
+}

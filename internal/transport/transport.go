@@ -22,6 +22,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hoplite/internal/buffer"
 	"hoplite/internal/pool"
@@ -94,6 +95,30 @@ type Stats struct {
 	RangedPulls int64
 }
 
+// PeerStat counts what this sender has served to one receiver. The link
+// estimator and tests use it to see how bytes actually spread across peers.
+type PeerStat struct {
+	// Pulls is the number of pulls this receiver issued here.
+	Pulls int64
+	// Bytes is the total chunk payload bytes sent to this receiver.
+	Bytes int64
+}
+
+// TelemetryFunc observes one completed pull from the sender's side: the
+// receiver it served, the chunk payload bytes sent, and the wall time spent
+// inside chunk writes (watermark waits excluded, so a pipelined source does
+// not masquerade as a slow link). The link-state tracker hangs off this.
+type TelemetryFunc func(peer types.NodeID, bytes int64, d time.Duration)
+
+// pullState carries one pull's scheduling class and telemetry counters
+// through the send path.
+type pullState struct {
+	sched   *egress
+	class   int
+	bytes   int64
+	sendDur time.Duration
+}
+
 // Server serves pull requests from a node's store.
 type Server struct {
 	ln     net.Listener
@@ -105,6 +130,15 @@ type Server struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+
+	// sched and bulkCutoff are set by ConfigureScheduler before Serve;
+	// a nil sched means pulls write directly (single-class behavior).
+	sched      *egress
+	bulkCutoff int64
+
+	peerMu    sync.Mutex
+	peers     map[types.NodeID]PeerStat
+	telemetry TelemetryFunc
 }
 
 // NewServer creates a data-plane server on ln.
@@ -119,7 +153,67 @@ func NewServer(ln net.Listener, get Getter, chunkSize int, onFail SendFailFunc) 
 	if onFail == nil {
 		onFail = func(types.ObjectID, types.NodeID) {}
 	}
-	return &Server{ln: ln, get: get, onFail: onFail, chunk: chunkSize, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		ln: ln, get: get, onFail: onFail, chunk: chunkSize,
+		conns:      make(map[net.Conn]struct{}),
+		bulkCutoff: DefaultBulkCutoff,
+		peers:      make(map[types.NodeID]PeerStat),
+	}
+}
+
+// ConfigureScheduler installs (classes >= 2) or removes (classes <= 1) the
+// weighted-fair egress scheduler. quantum is the byte-deficit one class may
+// lead the other by; it is clamped to at least one chunk frame, which is
+// what makes the deficit gate deadlock-free. A full pull of at least
+// bulkCutoff bytes is classed as bulk (ranged pulls always are); <= 0
+// keeps DefaultBulkCutoff. Call before Serve.
+func (s *Server) ConfigureScheduler(classes int, quantum, bulkCutoff int64) {
+	if bulkCutoff > 0 {
+		s.bulkCutoff = bulkCutoff
+	}
+	if classes <= 1 {
+		s.sched = nil
+		return
+	}
+	if minQ := int64(s.chunk) + frameOverhead; quantum < minQ {
+		quantum = minQ
+	}
+	s.sched = newEgress(quantum)
+}
+
+// SetTelemetry installs the per-pull observer called after each pull with
+// the receiver, bytes sent, and time spent writing them. fn must be cheap;
+// it runs on the serving goroutine.
+func (s *Server) SetTelemetry(fn TelemetryFunc) {
+	s.peerMu.Lock()
+	s.telemetry = fn
+	s.peerMu.Unlock()
+}
+
+// PeerStats returns a copy of the per-receiver serve counters.
+func (s *Server) PeerStats() map[types.NodeID]PeerStat {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	out := make(map[types.NodeID]PeerStat, len(s.peers))
+	for k, v := range s.peers {
+		out[k] = v
+	}
+	return out
+}
+
+// recordPull folds one finished pull into the per-peer counters and feeds
+// the telemetry hook.
+func (s *Server) recordPull(receiver types.NodeID, st *pullState) {
+	s.peerMu.Lock()
+	ps := s.peers[receiver]
+	ps.Pulls++
+	ps.Bytes += st.bytes
+	s.peers[receiver] = ps
+	tel := s.telemetry
+	s.peerMu.Unlock()
+	if tel != nil && st.bytes > 0 && st.sendDur > 0 {
+		tel(receiver, st.bytes, st.sendDur)
+	}
 }
 
 // Addr returns the listen address; it doubles as the node's NodeID.
@@ -198,10 +292,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		cancel()
 	}()
 
-	sentEOF, err := s.servePull(ctx, bw, oid, offset, length)
+	st := &pullState{sched: s.sched}
+	sentEOF, err := s.servePull(ctx, bw, st, oid, offset, length)
 	if err == nil {
 		err = bw.Flush()
 	}
+	s.recordPull(receiver, st)
 	if sentEOF && err == nil {
 		return // stream completed; the receiver releases the lease itself
 	}
@@ -244,7 +340,7 @@ func writeError(w *bufio.Writer, err error) error {
 // servePull streams one object range: [offset, offset+length), or
 // offset-to-end when length is 0. sentEOF reports whether the full stream
 // (terminated by the EOF frame) was handed to the writer.
-func (s *Server) servePull(ctx context.Context, bw *bufio.Writer, oid types.ObjectID, offset, length int64) (sentEOF bool, err error) {
+func (s *Server) servePull(ctx context.Context, bw *bufio.Writer, st *pullState, oid types.ObjectID, offset, length int64) (sentEOF bool, err error) {
 	src, err := s.get(ctx, oid)
 	if err != nil {
 		return false, writeError(bw, err)
@@ -269,6 +365,15 @@ func (s *Server) servePull(ctx context.Context, bw *bufio.Writer, oid types.Obje
 	if length > 0 {
 		end = offset + length
 	}
+	// Classify for the egress scheduler: striped (ranged) pulls and large
+	// full pulls are bulk; small full pulls are latency-sensitive.
+	if length > 0 || end-offset >= s.bulkCutoff {
+		st.class = classBulk
+	}
+	if st.sched != nil {
+		st.sched.enter(st.class)
+		defer st.sched.exit(st.class)
+	}
 	// Size frame first so the receiver can allocate (always the full
 	// object size, not the range length).
 	var szb [9]byte
@@ -278,11 +383,11 @@ func (s *Server) servePull(ctx context.Context, bw *bufio.Writer, oid types.Obje
 		return false, err
 	}
 	if src.Buf != nil {
-		if err := s.serveFromBuffer(ctx, bw, src.Buf, offset, end); err != nil {
+		if err := s.serveFromBuffer(ctx, bw, st, src.Buf, offset, end); err != nil {
 			return false, err
 		}
 	} else {
-		if err := s.serveFromFile(ctx, bw, src.File, offset, end); err != nil {
+		if err := s.serveFromFile(ctx, bw, st, src.File, offset, end); err != nil {
 			return false, err
 		}
 	}
@@ -292,10 +397,42 @@ func (s *Server) servePull(ctx context.Context, bw *bufio.Writer, oid types.Obje
 	return true, nil
 }
 
+// sendChunk frames and writes one data chunk, going through the egress
+// scheduler when one is installed. Contended sends flush inside their
+// grant so at most ~one chunk of this class sits unflushed when the other
+// class gets its turn. The time spent here (scheduler wait plus the write
+// itself) accrues to the pull's telemetry; watermark waits do not.
+func (s *Server) sendChunk(st *pullState, bw *bufio.Writer, p []byte) error {
+	write := func(flush bool) error {
+		if err := writeFrameHeader(bw, frameChunk, uint32(len(p))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(p); err != nil {
+			return err
+		}
+		if flush {
+			return bw.Flush()
+		}
+		return nil
+	}
+	start := time.Now()
+	var err error
+	if st.sched != nil {
+		err = st.sched.send(st.class, int64(len(p))+frameOverhead, write)
+	} else {
+		err = write(false)
+	}
+	st.sendDur += time.Since(start)
+	if err == nil {
+		st.bytes += int64(len(p))
+	}
+	return err
+}
+
 // serveFromBuffer streams [offset, end) of an in-memory buffer, blocking
 // at the watermark so a partial copy already feeds downstream transfers
 // (fine-grained pipelining, §3.3).
-func (s *Server) serveFromBuffer(ctx context.Context, bw *bufio.Writer, buf *buffer.Buffer, offset, end int64) error {
+func (s *Server) serveFromBuffer(ctx context.Context, bw *bufio.Writer, st *pullState, buf *buffer.Buffer, offset, end int64) error {
 	data := buf.Bytes()
 	off := offset
 	for off < end {
@@ -311,10 +448,7 @@ func (s *Server) serveFromBuffer(ctx context.Context, bw *bufio.Writer, buf *buf
 			if stop > wm {
 				stop = wm
 			}
-			if err := writeFrameHeader(bw, frameChunk, uint32(stop-off)); err != nil {
-				return err
-			}
-			if _, err := bw.Write(data[off:stop]); err != nil {
+			if err := s.sendChunk(st, bw, data[off:stop]); err != nil {
 				return err
 			}
 			off = stop
@@ -332,7 +466,7 @@ func (s *Server) serveFromBuffer(ctx context.Context, bw *bufio.Writer, buf *buf
 // pooled chunk buffer: the disk-backed relay path — the object is served
 // without rehydrating it into the store. The file is complete, so there
 // is no watermark to wait on; ctx is only consulted between chunks.
-func (s *Server) serveFromFile(ctx context.Context, bw *bufio.Writer, f io.ReaderAt, offset, end int64) error {
+func (s *Server) serveFromFile(ctx context.Context, bw *bufio.Writer, st *pullState, f io.ReaderAt, offset, end int64) error {
 	chunk := pool.Get(s.chunk)
 	defer pool.Put(chunk)
 	off := offset
@@ -347,10 +481,7 @@ func (s *Server) serveFromFile(ctx context.Context, bw *bufio.Writer, f io.Reade
 		if m, err := f.ReadAt(chunk[:n], off); err != nil && !(err == io.EOF && int64(m) == n) {
 			return writeError(bw, fmt.Errorf("spill read at %d: %w", off, err))
 		}
-		if err := writeFrameHeader(bw, frameChunk, uint32(n)); err != nil {
-			return err
-		}
-		if _, err := bw.Write(chunk[:n]); err != nil {
+		if err := s.sendChunk(st, bw, chunk[:n]); err != nil {
 			return err
 		}
 		off += n
@@ -386,6 +517,13 @@ func (s *Server) Close() error {
 // DialFunc opens a data-plane connection to the chosen sender.
 type DialFunc func(ctx context.Context) (net.Conn, error)
 
+// Observer receives the receiver-side measurement of a pull's data phase:
+// payload bytes that arrived and the wall time from the size frame to the
+// last of them. It fires even when the pull fails partway (with whatever
+// prefix arrived), so a dying-but-slow sender still yields a bandwidth
+// sample. The link-state tracker hangs off this.
+type Observer func(bytes int64, d time.Duration)
+
 // Pull streams oid's bytes from the sender reached via dial into dst,
 // starting at offset (which must equal dst's watermark). self identifies
 // the pulling node so the sender can report a broken receiver to the
@@ -395,10 +533,15 @@ type DialFunc func(ctx context.Context) (net.Conn, error)
 // un-failed at its current watermark so the caller can resume from
 // another sender.
 func Pull(ctx context.Context, dial DialFunc, self types.NodeID, oid types.ObjectID, offset int64, dst *buffer.Buffer) error {
+	return PullObserved(ctx, dial, self, oid, offset, dst, nil)
+}
+
+// PullObserved is Pull with a transfer Observer (nil is allowed).
+func PullObserved(ctx context.Context, dial DialFunc, self types.NodeID, oid types.ObjectID, offset int64, dst *buffer.Buffer, obs Observer) error {
 	if offset != dst.Watermark() {
 		return fmt.Errorf("transport: pull offset %d != watermark %d", offset, dst.Watermark())
 	}
-	return pull(ctx, dial, self, oid, offset, 0, dst, true)
+	return pull(ctx, dial, self, oid, offset, 0, dst, true, obs)
 }
 
 // PullRange streams exactly [offset, offset+length) of oid from the
@@ -409,20 +552,25 @@ func Pull(ctx context.Context, dial DialFunc, self types.NodeID, oid types.Objec
 // releases the claim so the missing bytes — and only those — can be
 // re-fetched from another sender.
 func PullRange(ctx context.Context, dial DialFunc, self types.NodeID, oid types.ObjectID, offset, length int64, dst *buffer.Buffer) error {
+	return PullRangeObserved(ctx, dial, self, oid, offset, length, dst, nil)
+}
+
+// PullRangeObserved is PullRange with a transfer Observer (nil is allowed).
+func PullRangeObserved(ctx context.Context, dial DialFunc, self types.NodeID, oid types.ObjectID, offset, length int64, dst *buffer.Buffer, obs Observer) error {
 	if length <= 0 {
 		return fmt.Errorf("transport: pull range length %d", length)
 	}
 	if offset < 0 || offset+length > dst.Size() {
 		return fmt.Errorf("transport: pull range [%d,%d) outside object of %d bytes", offset, offset+length, dst.Size())
 	}
-	return pull(ctx, dial, self, oid, offset, length, dst, false)
+	return pull(ctx, dial, self, oid, offset, length, dst, false, obs)
 }
 
 // pull is the shared receive loop: it requests [offset, offset+length)
 // (length 0 = to end) and writes arriving chunks at their absolute offset,
 // which equals dst's watermark for a full pull and extends a claimed range
 // fill for a ranged one. sealAtEOF seals dst after a complete full pull.
-func pull(ctx context.Context, dial DialFunc, self types.NodeID, oid types.ObjectID, offset, length int64, dst *buffer.Buffer, sealAtEOF bool) error {
+func pull(ctx context.Context, dial DialFunc, self types.NodeID, oid types.ObjectID, offset, length int64, dst *buffer.Buffer, sealAtEOF bool, obs Observer) error {
 	conn, err := dial(ctx)
 	if err != nil {
 		return fmt.Errorf("transport: dial sender: %w", err)
@@ -482,6 +630,14 @@ func pull(ctx context.Context, dial DialFunc, self types.NodeID, oid types.Objec
 		end = offset + length
 	}
 	got := offset
+	if obs != nil {
+		start := time.Now()
+		defer func() {
+			if got > offset {
+				obs(got-offset, time.Since(start))
+			}
+		}()
+	}
 	chunk := pool.Get(DefaultChunkSize)
 	defer func() { pool.Put(chunk) }()
 	for {

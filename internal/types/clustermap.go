@@ -51,6 +51,11 @@ type Member struct {
 	Addr      NodeID
 	State     MemberState
 	ShardHost bool // eligible to host directory shard replicas
+	// Locality is the node's optional locality-domain label (a rack or DC
+	// name, e.g. "dc1/rackA"). Link-state trackers aggregate estimates per
+	// domain so an unmeasured peer inherits its domain's mean instead of
+	// the global prior. Empty means unlabeled.
+	Locality string
 }
 
 // ClusterMap is the epoch-versioned cluster description. Epoch 0 is the
@@ -118,25 +123,31 @@ func (m ClusterMap) activeShardHosts() []NodeID {
 }
 
 // WithJoin returns the map after addr joins. Joining is idempotent: if
-// addr is already an active member with the same role the map is returned
-// unchanged (same epoch), so a retried join cannot burn epochs. A
-// draining member rejoining is flipped back to active.
-func (m ClusterMap) WithJoin(addr NodeID, shardHost bool) (ClusterMap, error) {
+// addr is already an active member with the same role (and no new
+// locality label) the map is returned unchanged (same epoch), so a
+// retried join cannot burn epochs. A draining member rejoining is flipped
+// back to active. An empty locality keeps the member's existing label, so
+// a rejoin that omits it cannot erase one.
+func (m ClusterMap) WithJoin(addr NodeID, shardHost bool, locality string) (ClusterMap, error) {
 	if addr == "" {
 		return m, fmt.Errorf("clustermap: empty member address")
 	}
 	if i := m.MemberIndex(addr); i >= 0 {
-		if m.Members[i].State == MemberActive && m.Members[i].ShardHost == shardHost {
+		sameLoc := locality == "" || locality == m.Members[i].Locality
+		if m.Members[i].State == MemberActive && m.Members[i].ShardHost == shardHost && sameLoc {
 			return m, nil
 		}
 		out := m.Clone()
 		out.Members[i].State = MemberActive
 		out.Members[i].ShardHost = shardHost
+		if locality != "" {
+			out.Members[i].Locality = locality
+		}
 		out.Epoch++
 		return out, nil
 	}
 	out := m.Clone()
-	out.Members = append(out.Members, Member{Addr: addr, State: MemberActive, ShardHost: shardHost})
+	out.Members = append(out.Members, Member{Addr: addr, State: MemberActive, ShardHost: shardHost, Locality: locality})
 	out.Epoch++
 	return out, nil
 }
@@ -208,8 +219,13 @@ func (m ClusterMap) DeriveGroups() [][]string {
 // Encoding: a small fixed header plus one record per member, big-endian
 // like the rest of the wire formats. The map rides inside Message.Payload
 // (join responses, map pushes, stale-epoch bounces, shard snapshots), so
-// it needs its own framing but no length prefix.
-const clusterMapVersion = 1
+// it needs its own framing but no length prefix. Version 2 added the
+// per-member locality label; version-1 encodings (from peers predating it)
+// still decode, with every locality empty.
+const (
+	clusterMapVersionV1 = 1
+	clusterMapVersion   = 2
+)
 
 // EncodeClusterMap appends the binary encoding of m to dst.
 func EncodeClusterMap(dst []byte, m ClusterMap) []byte {
@@ -227,18 +243,22 @@ func EncodeClusterMap(dst []byte, m ClusterMap) []byte {
 		dst = append(dst, byte(mem.State), role)
 		dst = binary.BigEndian.AppendUint16(dst, uint16(len(mem.Addr)))
 		dst = append(dst, mem.Addr...)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(mem.Locality)))
+		dst = append(dst, mem.Locality...)
 	}
 	return dst
 }
 
-// DecodeClusterMap parses an encoding produced by EncodeClusterMap.
+// DecodeClusterMap parses an encoding produced by EncodeClusterMap (either
+// version).
 func DecodeClusterMap(b []byte) (ClusterMap, error) {
 	var m ClusterMap
 	bad := func() (ClusterMap, error) { return ClusterMap{}, errors.New("clustermap: corrupt encoding") }
 	if len(b) < 1+8+4+4+4+4 {
 		return bad()
 	}
-	if b[0] != clusterMapVersion {
+	version := b[0]
+	if version != clusterMapVersionV1 && version != clusterMapVersion {
 		return ClusterMap{}, fmt.Errorf("clustermap: unknown version %d", b[0])
 	}
 	b = b[1:]
@@ -264,15 +284,40 @@ func DecodeClusterMap(b []byte) (ClusterMap, error) {
 		if len(b) < alen {
 			return bad()
 		}
-		m.Members = append(m.Members, Member{
+		mem := Member{
 			Addr:      NodeID(b[:alen]),
 			State:     state,
 			ShardHost: role != 0,
-		})
+		}
 		b = b[alen:]
+		if version >= clusterMapVersion {
+			if len(b) < 2 {
+				return bad()
+			}
+			llen := int(binary.BigEndian.Uint16(b))
+			b = b[2:]
+			if len(b) < llen {
+				return bad()
+			}
+			mem.Locality = string(b[:llen])
+			b = b[llen:]
+		}
+		m.Members = append(m.Members, mem)
 	}
 	if len(b) != 0 {
 		return bad()
 	}
 	return m, nil
+}
+
+// Localities returns the per-member locality labels, omitting unlabeled
+// members — the form the link-state tracker consumes.
+func (m ClusterMap) Localities() map[NodeID]string {
+	out := make(map[NodeID]string)
+	for _, mem := range m.Members {
+		if mem.Locality != "" {
+			out[mem.Addr] = mem.Locality
+		}
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package types
 
 import (
+	"encoding/binary"
 	"errors"
 	"reflect"
 	"testing"
@@ -40,7 +41,7 @@ func TestClusterMapTransitions(t *testing.T) {
 	}{
 		{
 			name:      "join new shard host",
-			apply:     func(m ClusterMap) (ClusterMap, error) { return m.WithJoin("e:1", true) },
+			apply:     func(m ClusterMap) (ClusterMap, error) { return m.WithJoin("e:1", true, "rack2") },
 			wantEpoch: 2,
 			check: func(t *testing.T, m ClusterMap) {
 				if i := m.MemberIndex("e:1"); i != 4 {
@@ -49,17 +50,36 @@ func TestClusterMapTransitions(t *testing.T) {
 				if !m.Members[4].ShardHost || m.Members[4].State != MemberActive {
 					t.Fatalf("joiner role wrong: %+v", m.Members[4])
 				}
+				if m.Members[4].Locality != "rack2" {
+					t.Fatalf("joiner locality %q, want rack2", m.Members[4].Locality)
+				}
 			},
 		},
 		{
 			name:      "join is idempotent",
-			apply:     func(m ClusterMap) (ClusterMap, error) { return m.WithJoin("a:1", true) },
+			apply:     func(m ClusterMap) (ClusterMap, error) { return m.WithJoin("a:1", true, "") },
 			wantEpoch: 0, // no epoch burned on a retried join
+		},
+		{
+			name: "rejoin with empty locality keeps the recorded label",
+			apply: func(m ClusterMap) (ClusterMap, error) {
+				m2, err := m.WithJoin("a:1", true, "rack1")
+				if err != nil {
+					return m2, err
+				}
+				return m2.WithJoin("a:1", true, "")
+			},
+			wantEpoch: 2, // only the label-setting join burns an epoch
+			check: func(t *testing.T, m ClusterMap) {
+				if m.Members[0].Locality != "rack1" {
+					t.Fatalf("locality %q, want rack1 preserved", m.Members[0].Locality)
+				}
+			},
 		},
 		{
 			name: "rejoin of draining member reactivates",
 			apply: func(m ClusterMap) (ClusterMap, error) {
-				return drained(m, "b:1").WithJoin("b:1", true)
+				return drained(m, "b:1").WithJoin("b:1", true, "")
 			},
 			wantEpoch: 3,
 			check: func(t *testing.T, m ClusterMap) {
@@ -193,7 +213,7 @@ func TestDeriveGroups(t *testing.T) {
 
 	// A joiner lands at the end of the host ring: existing primaries
 	// (group[0]) keep their positions, only wrap-around groups change.
-	j, err := m.WithJoin("e:1", true)
+	j, err := m.WithJoin("e:1", true, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,6 +273,11 @@ func TestClusterMapEncodeDecode(t *testing.T) {
 		{Epoch: 99, NumShards: 1, DirRF: 1, ObjectRF: 0, Members: []Member{
 			{Addr: "only:1", State: MemberDraining, ShardHost: true},
 		}},
+		{Epoch: 7, NumShards: 2, DirRF: 1, Members: []Member{
+			{Addr: "a:1", State: MemberActive, ShardHost: true, Locality: "dc1/rackA"},
+			{Addr: "b:1", State: MemberActive, Locality: "dc2/rackB"},
+			{Addr: "c:1", State: MemberActive},
+		}},
 	} {
 		b := EncodeClusterMap(nil, m)
 		got, err := DecodeClusterMap(b)
@@ -288,5 +313,45 @@ func TestClusterMapEncodeDecode(t *testing.T) {
 	huge = append(huge, 0x7F, 0xFF, 0xFF, 0xFF)
 	if _, err := DecodeClusterMap(huge); err == nil {
 		t.Fatal("huge member count accepted")
+	}
+}
+
+// A version-1 encoding (pre-locality) must still decode, with every
+// locality label empty.
+func TestClusterMapDecodeV1(t *testing.T) {
+	m := boot()
+	var b []byte
+	b = append(b, clusterMapVersionV1)
+	b = binary.BigEndian.AppendUint64(b, uint64(m.Epoch))
+	b = binary.BigEndian.AppendUint32(b, uint32(m.NumShards))
+	b = binary.BigEndian.AppendUint32(b, uint32(m.DirRF))
+	b = binary.BigEndian.AppendUint32(b, uint32(m.ObjectRF))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Members)))
+	for _, mem := range m.Members {
+		var role byte
+		if mem.ShardHost {
+			role = 1
+		}
+		b = append(b, byte(mem.State), role)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(mem.Addr)))
+		b = append(b, mem.Addr...)
+	}
+	got, err := DecodeClusterMap(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("v1 decode mismatch\nwant %+v\ngot  %+v", m, got)
+	}
+}
+
+func TestLocalities(t *testing.T) {
+	m := boot()
+	m.Members[0].Locality = "rack1"
+	m.Members[2].Locality = "rack2"
+	got := m.Localities()
+	want := map[NodeID]string{"a:1": "rack1", "c:1": "rack2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Localities() = %v, want %v", got, want)
 	}
 }

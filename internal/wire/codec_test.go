@@ -73,6 +73,7 @@ func sampleMessages() []Message {
 		{Method: MethodMapGet, ID: 25, Epoch: 2},
 		{Method: MethodRepairPull, ID: 26, OID: oid, Epoch: 4},
 		{Method: MethodStatus, ID: 27, Node: "n1:1", Epoch: 4},
+		{Method: MethodLinkState, ID: 28, Payload: []byte{7, 8, 9}},
 	}
 }
 

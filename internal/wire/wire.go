@@ -16,6 +16,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"hoplite/internal/types"
 )
@@ -72,6 +73,9 @@ const (
 	MethodMapGet     // fetch the current encoded ClusterMap
 	MethodRepairPull // repair scanner → node: fetch a complete copy of OID to restore replication
 	MethodStatus     // membership observability: map epoch, shard roles, under-replicated / sole-copy counts
+
+	// Link-state telemetry.
+	MethodLinkState // fetch the node's link-state table (encoded linkstate snapshot in the response payload)
 )
 
 // Flags for Message.Flags.
@@ -174,6 +178,7 @@ type Client struct {
 	notify func(Message)
 	orphan func(req, resp Message)
 	down   func()
+	rtt    func(time.Duration)
 }
 
 // NewClient wraps an established connection. notify, if non-nil, receives
@@ -208,6 +213,19 @@ func (c *Client) BatchStats() BatchStats { return c.b.stats() }
 func (c *Client) OnOrphan(fn func(req, resp Message)) {
 	c.mu.Lock()
 	c.orphan = fn
+	c.mu.Unlock()
+}
+
+// OnRTT registers fn to receive the wall-clock round-trip time of every
+// completed Call — request enqueue to response arrival, batching delay
+// included, which is exactly the latency a control RPC experiences. The
+// link-state estimator hangs off this hook, so ordinary traffic
+// (heartbeats, pings, directory calls) doubles as RTT probing with no
+// dedicated probe messages. fn runs on the caller's goroutine and must be
+// cheap. Set it before issuing calls.
+func (c *Client) OnRTT(fn func(time.Duration)) {
+	c.mu.Lock()
+	c.rtt = fn
 	c.mu.Unlock()
 }
 
@@ -307,8 +325,10 @@ func (c *Client) Call(ctx context.Context, m Message) (Message, error) {
 	c.nextID++
 	m.ID = c.nextID
 	c.pending[m.ID] = ch
+	rttFn := c.rtt
 	c.mu.Unlock()
 
+	start := time.Now()
 	if err := c.b.enqueue(&m); err != nil {
 		c.mu.Lock()
 		delete(c.pending, m.ID)
@@ -320,6 +340,9 @@ func (c *Client) Call(ctx context.Context, m Message) (Message, error) {
 	case resp := <-ch:
 		if e := resp.ErrorOf(); e != nil && (errors.Is(e, types.ErrNodeDown) || errors.Is(e, types.ErrClosed)) && resp.Method == MethodNone {
 			return resp, e
+		}
+		if rttFn != nil {
+			rttFn(time.Since(start))
 		}
 		return resp, nil
 	case <-ctx.Done():
